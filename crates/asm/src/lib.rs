@@ -1,0 +1,53 @@
+//! # cr-spectre-asm
+//!
+//! Assembler and program-construction toolkit for the CR-Spectre
+//! reproduction's guest ISA.
+//!
+//! Three layers:
+//!
+//! * [`builder::Asm`] — a programmatic two-pass assembler producing linked
+//!   [`cr_spectre_sim::image::Image`]s with symbols and ASLR-ready
+//!   relocations (the `cr-spectre-workloads` crate builds its MiBench-like
+//!   hosts with it);
+//! * [`parser`] — a text assembler with the same capabilities;
+//! * [`runtime`] — the `libsim` runtime linked into guest images: string
+//!   and memory routines, syscall wrappers, stack-canary prologue and
+//!   epilogue helpers, and — deliberately, as in any GCC-linked binary —
+//!   a population of `RET`-terminated gadget sequences for the
+//!   `cr-spectre-rop` scanner to harvest.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_spectre_asm::builder::Asm;
+//! use cr_spectre_asm::runtime::add_runtime;
+//! use cr_spectre_sim::{config::MachineConfig, cpu::Machine, isa::Reg};
+//!
+//! let mut asm = Asm::new();
+//! asm.label("main");
+//! asm.la(Reg::R1, "greeting");
+//! asm.ldi(Reg::R2, 5);
+//! asm.call("sys_write");
+//! asm.halt();
+//! add_runtime(&mut asm);
+//! asm.data_label("greeting");
+//! asm.asciz("hello");
+//!
+//! let image = asm.build("hello")?;
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let loaded = machine.load(&image).expect("image fits");
+//! machine.start(loaded.entry);
+//! assert!(machine.run().exit.is_clean());
+//! assert_eq!(machine.stdout(), b"hello");
+//! # Ok::<(), cr_spectre_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod parser;
+pub mod runtime;
+
+pub use builder::{Asm, AsmError};
+pub use parser::{assemble, ParseError};

@@ -1,0 +1,350 @@
+//! The `libsim` runtime: library routines linked into every guest image.
+//!
+//! Like a C runtime linked by GCC, these routines both provide services
+//! (string/memory routines, syscall wrappers) and — crucially for the
+//! paper — populate the image's executable pages with **`RET`-terminated
+//! instruction sequences**. The paper notes that "a binary compiled using
+//! GCC has various other libraries linked with it, thus providing more
+//! gadgets than available only with the host"; [`add_runtime`] plays that
+//! role here. The `cr-spectre-rop` scanner harvests its gadgets from these
+//! bytes by scanning, not by symbol lookup.
+//!
+//! The module also provides the stack-frame helpers ([`emit_prologue`],
+//! [`emit_epilogue`]) that implement the optional stack-canary mitigation
+//! (`-fstack-protector` analogue) discussed in the paper's related work.
+
+use cr_spectre_sim::cpu::{sys, CANARY_ADDR};
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+use crate::builder::Asm;
+
+/// Appends every `libsim` routine and the gadget-bearing epilogue block to
+/// `asm`. Call this once, after the program's own code.
+///
+/// Provided symbols: `memcpy`, `memset`, `strcpy`, `strlen`, `sys_exit`,
+/// `sys_write`, `sys_exec`, `sys_getrand`, plus unnamed gadget bytes.
+pub fn add_runtime(asm: &mut Asm) {
+    memcpy(asm);
+    memset(asm);
+    strcpy(asm);
+    strlen(asm);
+    syscall_wrappers(asm);
+    gadget_zoo(asm);
+}
+
+/// `memcpy(dst: r1, src: r2, len: r3)` — byte copy; clobbers `r4`, `r5`.
+fn memcpy(asm: &mut Asm) {
+    asm.label("memcpy");
+    asm.ldi(Reg::R4, 0);
+    asm.label("__memcpy_loop");
+    asm.br(BranchCond::Geu, Reg::R4, Reg::R3, "__memcpy_done");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R2, Reg::R4);
+    asm.ld(Width::B, Reg::R5, Reg::R5, 0);
+    asm.alu(AluOp::Add, Reg::R6, Reg::R1, Reg::R4);
+    asm.st(Width::B, Reg::R6, Reg::R5, 0);
+    asm.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+    asm.jmp("__memcpy_loop");
+    asm.label("__memcpy_done");
+    asm.ret();
+}
+
+/// `memset(dst: r1, byte: r2, len: r3)` — clobbers `r4`, `r5`.
+fn memset(asm: &mut Asm) {
+    asm.label("memset");
+    asm.ldi(Reg::R4, 0);
+    asm.label("__memset_loop");
+    asm.br(BranchCond::Geu, Reg::R4, Reg::R3, "__memset_done");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R1, Reg::R4);
+    asm.st(Width::B, Reg::R5, Reg::R2, 0);
+    asm.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+    asm.jmp("__memset_loop");
+    asm.label("__memset_done");
+    asm.ret();
+}
+
+/// `strcpy(dst: r1, src: r2)` — copies up to and including the NUL;
+/// clobbers `r4`, `r5`. This is the classic unbounded copy of the paper's
+/// Algorithm 1.
+fn strcpy(asm: &mut Asm) {
+    asm.label("strcpy");
+    asm.ldi(Reg::R4, 0);
+    asm.label("__strcpy_loop");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R2, Reg::R4);
+    asm.ld(Width::B, Reg::R5, Reg::R5, 0);
+    asm.alu(AluOp::Add, Reg::R6, Reg::R1, Reg::R4);
+    asm.st(Width::B, Reg::R6, Reg::R5, 0);
+    asm.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+    asm.br(BranchCond::Ne, Reg::R5, Reg::R0, "__strcpy_loop");
+    asm.ret();
+}
+
+/// `strlen(ptr: r1) -> r0` — clobbers `r4`, `r5`.
+fn strlen(asm: &mut Asm) {
+    asm.label("strlen");
+    asm.ldi(Reg::R4, 0);
+    asm.label("__strlen_loop");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R1, Reg::R4);
+    asm.ld(Width::B, Reg::R5, Reg::R5, 0);
+    asm.br(BranchCond::Eq, Reg::R5, Reg::R0, "__strlen_done");
+    asm.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+    asm.jmp("__strlen_loop");
+    asm.label("__strlen_done");
+    asm.mov(Reg::R0, Reg::R4);
+    asm.ret();
+}
+
+/// Syscall wrappers. Each sets `r0` and traps; arguments pass through in
+/// `r1..=r3`. `sys_exec; ret` is the sequence the ROP chain returns into —
+/// the analogue of returning into libc's `execve`.
+fn syscall_wrappers(asm: &mut Asm) {
+    asm.label("sys_exit");
+    asm.ldi(Reg::R0, sys::EXIT as i32);
+    asm.syscall();
+    asm.ret(); // reached only when an exec frame returned
+
+    asm.label("sys_write");
+    asm.ldi(Reg::R0, sys::WRITE as i32);
+    asm.syscall();
+    asm.ret();
+
+    asm.label("sys_exec");
+    asm.ldi(Reg::R0, sys::EXEC as i32);
+    asm.syscall();
+    asm.ret();
+
+    asm.label("sys_getrand");
+    asm.ldi(Reg::R0, sys::GETRAND as i32);
+    asm.syscall();
+    asm.ret();
+}
+
+/// Epilogue-style instruction sequences. In a GCC binary these arise
+/// naturally from callee-saved register restores; here they are emitted
+/// explicitly so every linked image carries a usable gadget population.
+fn gadget_zoo(asm: &mut Asm) {
+    asm.label("__rt_epilogues");
+    // pop rN; ret — the register-setting workhorses.
+    for r in [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R0] {
+        asm.pop(r);
+        asm.ret();
+    }
+    // pop r1; pop r2; ret — double restore.
+    asm.pop(Reg::R1);
+    asm.pop(Reg::R2);
+    asm.ret();
+    // mov r1, r0; ret and friends.
+    asm.mov(Reg::R1, Reg::R0);
+    asm.ret();
+    asm.mov(Reg::R0, Reg::R1);
+    asm.ret();
+    // add sp, 16; ret — stack lifters.
+    asm.alui(AluOp::Add, Reg::SP, Reg::SP, 16);
+    asm.ret();
+    asm.alui(AluOp::Add, Reg::SP, Reg::SP, 32);
+    asm.ret();
+    // arithmetic gadgets.
+    asm.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+    asm.ret();
+    asm.alu(AluOp::Xor, Reg::R1, Reg::R1, Reg::R1);
+    asm.ret();
+    // store gadget: [r1] = r2; ret.
+    asm.st(Width::D, Reg::R1, Reg::R2, 0);
+    asm.ret();
+    // load gadget: r1 = [r1]; ret.
+    asm.ld(Width::D, Reg::R1, Reg::R1, 0);
+    asm.ret();
+    // bare syscall; ret (number must already be in r0).
+    asm.label("__rt_syscall_ret");
+    asm.syscall();
+    asm.ret();
+}
+
+/// Emits a function prologue: optional canary push, then `frame_size`
+/// bytes of locals. The local buffer starts at `sp + 0`.
+///
+/// Stack layout (high → low): `[return address][canary?][locals]`, so an
+/// overflow running off the end of the locals corrupts the canary before
+/// the return address — exactly the property the mitigation relies on.
+pub fn emit_prologue(asm: &mut Asm, frame_size: u32, canary: bool) {
+    if canary {
+        asm.ldi(Reg::SCRATCH, CANARY_ADDR as i32);
+        asm.ld(Width::D, Reg::SCRATCH, Reg::SCRATCH, 0);
+        asm.push(Reg::SCRATCH);
+    }
+    asm.alui(AluOp::Sub, Reg::SP, Reg::SP, frame_size as i32);
+}
+
+/// Emits the matching epilogue: frame release, optional canary check
+/// (aborting via the `abort` syscall on mismatch — "stack smashing
+/// detected"), then `RET`. Clobbers `r13`/`r14` when `canary` is set.
+pub fn emit_epilogue(asm: &mut Asm, frame_size: u32, canary: bool) {
+    asm.alui(AluOp::Add, Reg::SP, Reg::SP, frame_size as i32);
+    if canary {
+        let ok = format!("__canary_ok_{}", asm.here());
+        asm.pop(Reg::R13);
+        asm.ldi(Reg::SCRATCH, CANARY_ADDR as i32);
+        asm.ld(Width::D, Reg::SCRATCH, Reg::SCRATCH, 0);
+        asm.br(BranchCond::Eq, Reg::R13, Reg::SCRATCH, ok.clone());
+        asm.ldi(Reg::R0, sys::ABORT as i32);
+        asm.syscall();
+        asm.label(ok);
+    }
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_sim::config::MachineConfig;
+    use cr_spectre_sim::cpu::Machine;
+    use cr_spectre_sim::error::{ExitReason, Fault};
+    use cr_spectre_sim::mem::Perms;
+
+    fn machine_for(asm: &Asm) -> (Machine, cr_spectre_sim::image::LoadedImage) {
+        let image = asm.build("t").unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&image).unwrap();
+        (m, li)
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("memcpy");
+        a.halt();
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        let src = m.alloc(4096, Perms::RW);
+        let dst = m.alloc(4096, Perms::RW);
+        m.mem_mut().poke(src, b"hello world");
+        m.start(li.entry);
+        m.set_reg(Reg::R1, dst);
+        m.set_reg(Reg::R2, src);
+        m.set_reg(Reg::R3, 11);
+        assert!(m.run().exit.is_clean());
+        assert_eq!(m.mem().peek(dst, 11), b"hello world");
+    }
+
+    #[test]
+    fn memset_fills() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("memset");
+        a.halt();
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        let dst = m.alloc(4096, Perms::RW);
+        m.start(li.entry);
+        m.set_reg(Reg::R1, dst);
+        m.set_reg(Reg::R2, 0xab);
+        m.set_reg(Reg::R3, 8);
+        assert!(m.run().exit.is_clean());
+        assert_eq!(m.mem().peek(dst, 9), &[0xab; 8][..].iter().chain(&[0u8]).copied().collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn strcpy_stops_at_nul() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("strcpy");
+        a.halt();
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        let src = m.alloc(4096, Perms::RW);
+        let dst = m.alloc(4096, Perms::RW);
+        m.mem_mut().poke(src, b"abc\0XYZ");
+        m.mem_mut().poke(dst, &[0xff; 8]);
+        m.start(li.entry);
+        m.set_reg(Reg::R1, dst);
+        m.set_reg(Reg::R2, src);
+        assert!(m.run().exit.is_clean());
+        assert_eq!(m.mem().peek(dst, 5), b"abc\0\xff");
+    }
+
+    #[test]
+    fn strlen_counts() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("strlen");
+        a.halt();
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        let src = m.alloc(4096, Perms::RW);
+        m.mem_mut().poke(src, b"four\0");
+        m.start(li.entry);
+        m.set_reg(Reg::R1, src);
+        assert!(m.run().exit.is_clean());
+        assert_eq!(m.reg(Reg::R0), 4);
+    }
+
+    #[test]
+    fn sys_write_wrapper() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.la(Reg::R1, "msg");
+        a.ldi(Reg::R2, 5);
+        a.call("sys_write");
+        a.halt();
+        add_runtime(&mut a);
+        a.data_label("msg");
+        a.asciz("hello");
+        let (mut m, li) = machine_for(&a);
+        m.start(li.entry);
+        assert!(m.run().exit.is_clean());
+        assert_eq!(m.stdout(), b"hello");
+    }
+
+    #[test]
+    fn canary_frame_round_trip() {
+        // A well-behaved function with canary protection returns cleanly.
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        emit_prologue(&mut a, 64, true);
+        a.ldi(Reg::R1, 7);
+        a.st(Width::D, Reg::SP, Reg::R1, 0); // touch the frame
+        emit_epilogue(&mut a, 64, true);
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        m.start(li.entry);
+        assert!(m.run().exit.is_clean());
+    }
+
+    #[test]
+    fn canary_detects_overflow() {
+        // The function deliberately writes past its 16-byte frame, hitting
+        // the canary slot; the epilogue must abort.
+        let mut a = Asm::new();
+        a.label("main");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        emit_prologue(&mut a, 16, true);
+        a.ldi(Reg::R1, 0x41414141);
+        a.st(Width::D, Reg::SP, Reg::R1, 16); // overwrites the canary slot
+        emit_epilogue(&mut a, 16, true);
+        add_runtime(&mut a);
+        let (mut m, li) = machine_for(&a);
+        m.start(li.entry);
+        assert_eq!(m.run().exit, ExitReason::Fault(Fault::Abort));
+    }
+
+    #[test]
+    fn runtime_contains_gadget_bytes() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.halt();
+        add_runtime(&mut a);
+        let image = a.build("t").unwrap();
+        let text = &image.segments[0].bytes;
+        // Count RET opcodes in the text segment: the zoo guarantees many.
+        let rets = text
+            .chunks(8)
+            .filter(|c| cr_spectre_sim::isa::Instr::decode(c) == Ok(cr_spectre_sim::isa::Instr::Ret))
+            .count();
+        assert!(rets >= 15, "expected a rich gadget population, got {rets} rets");
+    }
+}

@@ -1,0 +1,50 @@
+//! Attack-path benchmarks: secret-leak throughput of both Spectre
+//! variants, the full ROP-injected chain, and Algorithm-2 perturbation
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cr_spectre_core::attack::{run_cr_spectre, run_standalone_spectre, AttackConfig};
+use cr_spectre_core::perturb::PerturbParams;
+use cr_spectre_core::spectre::SpectreVariant;
+use cr_spectre_workloads::mibench::Mibench;
+
+fn leak_config(variant: SpectreVariant) -> AttackConfig {
+    let mut config = AttackConfig::new(Mibench::Bitcount50M).with_variant(variant);
+    config.secret_len = 8; // per-byte cost is what we measure
+    config
+}
+
+fn bench_standalone_leak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/standalone_leak_8_bytes");
+    group.sample_size(20);
+    for variant in SpectreVariant::ALL {
+        let config = leak_config(variant);
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                let outcome = run_standalone_spectre(black_box(&config));
+                assert!(outcome.leak_accuracy() > 0.99);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cr_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/cr_spectre_full_chain");
+    group.sample_size(10);
+    let mut config = leak_config(SpectreVariant::V1);
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(run_cr_spectre(&config).expect("launches")))
+    });
+    config = config.with_perturb(PerturbParams::paper_default());
+    group.bench_function("with_algorithm2", |b| {
+        b.iter(|| black_box(run_cr_spectre(&config).expect("launches")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_standalone_leak, bench_cr_injection);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! One Criterion benchmark per paper artifact: Figure 4, Figure 5,
+//! Figure 6 and Table I, each at a reduced (smoke) scale so the bench
+//! suite finishes in minutes. The printable full-scale harnesses are the
+//! `fig4`/`fig5`/`fig6`/`table1` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cr_spectre_core::campaign::{fig4, fig5, fig6, table1, CampaignConfig};
+
+fn smoke() -> CampaignConfig {
+    CampaignConfig { samples_per_class: 100, attempts: 2, ..CampaignConfig::default() }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig4_feature_sizes", |b| {
+        let cfg = smoke();
+        b.iter(|| black_box(fig4(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig5_offline_hid", |b| {
+        let cfg = smoke();
+        b.iter(|| black_box(fig5(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig6_online_hid", |b| {
+        let cfg = smoke();
+        b.iter(|| black_box(fig6(&cfg)))
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1_ipc_overhead", |b| {
+        let cfg = smoke();
+        b.iter(|| black_box(table1(&cfg, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6, bench_table1);
+criterion_main!(benches);

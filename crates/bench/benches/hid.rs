@@ -1,0 +1,62 @@
+//! Detector benchmarks: training and inference cost of each of the
+//! paper's four classifier families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cr_spectre_hid::detector::HidKind;
+
+fn synthetic(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
+    // Deterministic separable data with mild overlap.
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut state = 0x1234_5678_u64;
+    for i in 0..n {
+        let label = (i % 2) as u8;
+        let center = if label == 1 { 2.0 } else { -2.0 };
+        let row = (0..dim)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                center + ((state % 2000) as f64 / 1000.0 - 1.0)
+            })
+            .collect();
+        x.push(row);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (x, y) = synthetic(400, 4);
+    let mut group = c.benchmark_group("hid/train_400x4");
+    group.sample_size(10);
+    for kind in HidKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut model = kind.build();
+                model.fit(black_box(&x), black_box(&y));
+                model
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (x, y) = synthetic(400, 4);
+    let mut group = c.benchmark_group("hid/classify_window");
+    for kind in HidKind::ALL {
+        let mut model = kind.build();
+        model.fit(&x, &y);
+        group.bench_function(kind.name(), |b| {
+            let row = &x[7];
+            b.iter(|| black_box(model.predict(black_box(row))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Microarchitecture-substrate benchmarks: simulator throughput, cache
+//! and predictor operations, instruction codec, gadget scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_asm::runtime::add_runtime;
+use cr_spectre_rop::Scanner;
+use cr_spectre_sim::branch::PatternHistoryTable;
+use cr_spectre_sim::cache::{CacheHierarchy, HierarchyConfig};
+use cr_spectre_sim::config::MachineConfig;
+use cr_spectre_sim::cpu::Machine;
+use cr_spectre_sim::isa::{AluOp, Instr, Reg};
+use cr_spectre_workloads::host::standalone_image;
+use cr_spectre_workloads::mibench::Mibench;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let image = standalone_image(Mibench::Crc32);
+    c.bench_function("sim/run_crc32_workload", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let li = m.load(&image).expect("loads");
+            m.start(li.entry);
+            black_box(m.run())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/hit_access", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        h.access_data(0x1000);
+        b.iter(|| black_box(h.access_data(0x1000)))
+    });
+    c.bench_function("cache/miss_stream", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            black_box(h.access_data(addr))
+        })
+    });
+    c.bench_function("cache/flush_line", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        b.iter(|| h.flush_line(black_box(0x2000)))
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("branch/pht_predict_update", |b| {
+        let mut pht = PatternHistoryTable::new(1024);
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(8);
+            let p = pht.predict(pc);
+            pht.update(pc, !p);
+            black_box(p)
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let instr = Instr::Alu(AluOp::Add, Reg::R1, Reg::R2, Reg::R3);
+    c.bench_function("isa/encode", |b| b.iter(|| black_box(instr.encode())));
+    let bytes = instr.encode();
+    c.bench_function("isa/decode", |b| b.iter(|| black_box(Instr::decode(&bytes))));
+}
+
+fn bench_gadget_scan(c: &mut Criterion) {
+    let mut asm = Asm::new();
+    asm.label("main");
+    asm.halt();
+    add_runtime(&mut asm);
+    let image = asm.build("host").expect("assembles");
+    let mut m = Machine::new(MachineConfig::default());
+    let li = m.load(&image).expect("loads");
+    c.bench_function("rop/gadget_scan_runtime", |b| {
+        let scanner = Scanner::default();
+        b.iter(|| black_box(scanner.scan_image(&m, &li)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator_throughput,
+    bench_cache,
+    bench_predictor,
+    bench_codec,
+    bench_gadget_scan
+);
+criterion_main!(benches);

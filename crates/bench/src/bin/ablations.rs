@@ -1,0 +1,205 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out:
+//!
+//! 1. **speculation window depth** vs leak accuracy — how deep must
+//!    transient execution run for Spectre v1 to work at all;
+//! 2. **mispredict-resolve latency** (via DRAM latency) vs leak accuracy —
+//!    the transient budget comes from the flushed bound's miss;
+//! 3. **covert-channel stride** vs leak accuracy — strides below the cache
+//!    line alias probe slots;
+//! 4. **reload threshold** vs leak accuracy — the hit/miss decision margin;
+//! 5. **perturbation dispersal delay** vs HID detection rate — the knob
+//!    that turns Algorithm 2 from loud to evasive;
+//! 6. **feature-set size** vs detection of the *perturbed* attack.
+//!
+//! ```sh
+//! cargo run --release -p cr-spectre-bench --bin ablations
+//! ```
+
+use cr_spectre_core::attack::{run_standalone_spectre, AttackConfig};
+use cr_spectre_core::campaign::{
+    benign_traces, build_training_data, CampaignConfig, NoiseModel,
+};
+use cr_spectre_core::perturb::PerturbParams;
+use cr_spectre_core::spectre::SpectreVariant;
+use cr_spectre_hid::detector::{Hid, HidKind, HidMode};
+use cr_spectre_hid::metrics::Confusion;
+use cr_spectre_hpc::dataset::{Dataset, Label};
+use cr_spectre_hpc::features::{rank_by_fisher, FeatureSet};
+use cr_spectre_workloads::mibench::Mibench;
+
+fn leak_with(f: impl FnOnce(&mut AttackConfig)) -> f64 {
+    let mut config = AttackConfig::new(Mibench::Bitcount50M);
+    config.secret_len = 16;
+    f(&mut config);
+    run_standalone_spectre(&config).leak_accuracy()
+}
+
+fn main() {
+    println!("== Ablation 1: speculation window depth vs leak accuracy ==");
+    println!("(the transient path needs ~7 instructions; shallow windows kill v1)");
+    for window in [2u64, 4, 6, 8, 16, 32, 64] {
+        let acc = leak_with(|c| c.machine.spec_window = window);
+        println!("  spec_window {window:>3}: leak {:>5.1}%", acc * 100.0);
+    }
+
+    println!("\n== Ablation 2: DRAM latency vs leak accuracy ==");
+    println!("(the flushed bound's miss latency IS the transient budget)");
+    for mem_latency in [20u64, 60, 120, 200, 400] {
+        let acc = leak_with(|c| c.machine.caches.mem_latency = mem_latency);
+        println!("  mem_latency {mem_latency:>4}: leak {:>5.1}%", acc * 100.0);
+    }
+
+    println!("\n== Ablation 3: covert-channel stride vs leak accuracy ==");
+    println!("(strides below the 64-byte line alias neighbouring byte values)");
+    for stride in [16i32, 32, 64, 128, 512] {
+        let acc = leak_with(|c| c.covert.stride = stride);
+        println!("  stride {stride:>4}: leak {:>5.1}%", acc * 100.0);
+    }
+
+    println!("\n== Ablation 3b: same stride sweep with a next-line prefetcher ==");
+    println!("(prefetch fills corrupt adjacent probe slots — the historical reason");
+    println!(" the classic PoC uses a 512-byte stride)");
+    for stride in [64i32, 128, 256, 512] {
+        let acc = leak_with(|c| {
+            c.covert.stride = stride;
+            c.machine.caches.next_line_prefetch = true;
+        });
+        println!("  stride {stride:>4}: leak {:>5.1}%", acc * 100.0);
+    }
+
+    println!("\n== Ablation 4: reload threshold vs leak accuracy ==");
+    println!("(L1 hit ≈ 10 cycles, memory ≈ 230; thresholds outside break decode)");
+    for threshold in [5i32, 20, 100, 200, 2000] {
+        let acc = leak_with(|c| c.covert.threshold = threshold);
+        println!("  threshold {threshold:>5}: leak {:>5.1}%", acc * 100.0);
+    }
+
+    // Train one MLP HID for the detection-side ablations.
+    let cfg = CampaignConfig { samples_per_class: 250, ..CampaignConfig::default() };
+    let features = FeatureSet::paper_default();
+    let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
+    let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
+    noise.apply(&mut training.x, 7);
+    let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
+
+    println!("\n== Ablation 5: perturbation dispersal delay vs detection rate ==");
+    println!("(Algorithm 2 with growing delay loops — §II-E's dispersal mechanism)");
+    for delay in [0i32, 200, 800, 2_500, 6_000] {
+        let mut config = AttackConfig::new(Mibench::Bitcount50M)
+            .with_variant(SpectreVariant::V1)
+            .with_perturb(PerturbParams {
+                delay,
+                loop_count: 24,
+                ..PerturbParams::paper_default()
+            });
+        config.secret_len = 16;
+        let outcome = run_standalone_spectre(&config);
+        let mut rows = outcome.attack_rows(&features);
+        noise.apply(&mut rows, 11 + delay as u64);
+        println!(
+            "  delay {delay:>5}: detection {:>5.1}%  (leak {:>5.1}%)",
+            hid.detection_rate(&rows) * 100.0,
+            outcome.leak_accuracy() * 100.0
+        );
+    }
+
+    println!("\n== Ablation 6: extra classifier families (beyond the paper's four) ==");
+    println!("(decision tree and k-NN on plain vs evasively perturbed Spectre)");
+    {
+        use cr_spectre_hid::{DecisionTree, Detector, Knn};
+        use cr_spectre_hpc::features::Normalizer;
+        let plain = run_standalone_spectre(&AttackConfig::new(Mibench::Bitcount50M));
+        let mut config = AttackConfig::new(Mibench::Bitcount50M)
+            .with_perturb(PerturbParams::evasive_default());
+        config.secret_len = 16;
+        let perturbed = run_standalone_spectre(&config);
+        let mut train = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
+        let noise2 = NoiseModel::fit(&train.x, cfg.noise_strength);
+        noise2.apply(&mut train.x, 19);
+        let norm = Normalizer::fit(&train.x);
+        let mut x = train.x.clone();
+        norm.apply_all(&mut x);
+        let mut models: Vec<Box<dyn Detector>> =
+            vec![Box::new(DecisionTree::new()), Box::new(Knn::new())];
+        for model in &mut models {
+            model.fit(&x, &train.y);
+            let rate = |outcome: &cr_spectre_core::attack::AttackOutcome, tag: u64| {
+                let mut rows = outcome.attack_rows(&features);
+                noise2.apply(&mut rows, tag);
+                norm.apply_all(&mut rows);
+                let hits = rows.iter().filter(|r| model.predict(r) == 1).count();
+                hits as f64 / rows.len().max(1) as f64
+            };
+            println!(
+                "  {:<4} plain Spectre {:>5.1}%   perturbed CR-Spectre {:>5.1}%",
+                model.name(),
+                rate(&plain, 23) * 100.0,
+                rate(&perturbed, 29) * 100.0
+            );
+        }
+    }
+
+    println!("\n== Ablation 7: feature-set size vs detection of the perturbed attack ==");
+    let mut config = AttackConfig::new(Mibench::Bitcount50M)
+        .with_perturb(PerturbParams::evasive_default());
+    config.secret_len = 16;
+    let outcome = run_standalone_spectre(&config);
+    for size in [1usize, 2, 4, 8, 16] {
+        let fs = FeatureSet::paper(size);
+        let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &fs);
+        let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
+        noise.apply(&mut training.x, 13);
+        let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
+        let mut rows = outcome.attack_rows(&fs);
+        noise.apply(&mut rows, 17 + size as u64);
+        println!(
+            "  features {size:>2}: detection of perturbed CR-Spectre {:>5.1}%",
+            hid.detection_rate(&rows) * 100.0
+        );
+    }
+
+    println!("\n== Ablation 8: offline Fisher ranking of all 56 events ==");
+    println!("(does the paper-ranked real-time prefix agree with a data-driven rank?)");
+    {
+        let all = FeatureSet::all();
+        let training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &all);
+        let ranked = rank_by_fisher(all.events(), &training.x, &training.y);
+        for (i, (event, score)) in ranked.iter().take(10).enumerate() {
+            println!("  #{:<2} {:<22} fisher {score:.3}", i + 1, event.to_string());
+        }
+    }
+
+    println!("\n== Ablation 9: the online HID's hidden false-alarm cost ==");
+    println!("(after chasing perturbation variants, how noisy is the detector?)");
+    {
+        let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
+        let noise9 = NoiseModel::fit(&training.x, cfg.noise_strength);
+        noise9.apply(&mut training.x, 31);
+        let mut hid = Hid::train(HidKind::Mlp, HidMode::Online, training);
+        // Fresh benign evaluation set (held out).
+        let mut benign_eval = Dataset::new();
+        for trace in benign_traces(&cfg, &[Mibench::Crc32, Mibench::Fft]) {
+            benign_eval.push_trace(&trace, Label::Benign, &features);
+        }
+        noise9.apply(&mut benign_eval.x, 37);
+        let before = Confusion::measure(&hid, &benign_eval.x, &benign_eval.y);
+        // Chase three evasive variants, self-labelling as a real deployment
+        // would.
+        for attempt in 0..3u64 {
+            let mut config = AttackConfig::new(Mibench::Sha1)
+                .with_perturb(PerturbParams::evasive_default());
+            config.secret_len = 16;
+            let outcome = cr_spectre_core::attack::run_cr_spectre(&config).expect("launches");
+            let mut rows = outcome.attack_rows(&features);
+            noise9.apply(&mut rows, 41 + attempt);
+            hid.ingest_self_labeled(&rows);
+            hid.retrain();
+        }
+        let after = Confusion::measure(&hid, &benign_eval.x, &benign_eval.y);
+        println!(
+            "  benign false-positive rate: {:.1}% before, {:.1}% after the chase",
+            before.false_positive_rate() * 100.0,
+            after.false_positive_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Extension experiment: the trade-off the paper's introduction argues —
+//! hardware/microcode Spectre defenses (InvisiSpec, Context-Sensitive
+//! Fencing, §I) stop the attack but "induce overheads and require
+//! architecture level modifications", whereas the HID is low-overhead
+//! but, as CR-Spectre shows, evadable.
+//!
+//! For each MiBench workload this prints the IPC under no defense,
+//! InvisiSpec and CSF, plus whether the Spectre leak survives.
+//!
+//! ```sh
+//! cargo run --release -p cr-spectre-bench --bin defense_overhead
+//! ```
+
+use cr_spectre_core::attack::{run_standalone_spectre, AttackConfig};
+use cr_spectre_core::campaign::profile_standalone;
+use cr_spectre_sim::config::MachineConfig;
+use cr_spectre_workloads::host::standalone_image;
+use cr_spectre_workloads::mibench::Mibench;
+
+fn ipc(machine: &MachineConfig, host: Mibench) -> f64 {
+    profile_standalone(machine, &standalone_image(host), 2_000).outcome.ipc()
+}
+
+fn leak(machine: &MachineConfig) -> f64 {
+    let mut cfg = AttackConfig::new(Mibench::Bitcount50M);
+    cfg.machine = machine.clone();
+    cfg.secret_len = 16;
+    run_standalone_spectre(&cfg).leak_accuracy()
+}
+
+fn main() {
+    let baseline = MachineConfig::default();
+    let invisispec = MachineConfig::invisispec();
+    let csf = MachineConfig::csf();
+
+    println!("Defense overhead vs protection (extension of the paper's §I argument)");
+    println!(
+        "\n{:<16}{:>12}{:>22}{:>22}",
+        "Benchmark", "no defense", "InvisiSpec", "CSF"
+    );
+    let mut inv_sum = 0.0;
+    let mut csf_sum = 0.0;
+    let hosts = Mibench::TABLE1_ROWS;
+    for &host in &hosts {
+        let base = ipc(&baseline, host);
+        let inv = ipc(&invisispec, host);
+        let fenced = ipc(&csf, host);
+        inv_sum += 1.0 - inv / base;
+        csf_sum += 1.0 - fenced / base;
+        println!(
+            "{:<16}{:>12.4}{:>14.4} ({:+5.1}%){:>13.4} ({:+5.1}%)",
+            host.display_name(),
+            base,
+            inv,
+            (1.0 - inv / base) * 100.0,
+            fenced,
+            (1.0 - fenced / base) * 100.0,
+        );
+    }
+    let n = hosts.len() as f64;
+    println!(
+        "\naverage slowdown: InvisiSpec {:+.1}%, CSF {:+.1}%",
+        inv_sum / n * 100.0,
+        csf_sum / n * 100.0
+    );
+
+    println!("\nSpectre v1 leak accuracy under each defense:");
+    println!("  no defense : {:>5.1}%", leak(&baseline) * 100.0);
+    println!("  InvisiSpec : {:>5.1}%", leak(&invisispec) * 100.0);
+    println!("  CSF        : {:>5.1}%", leak(&csf) * 100.0);
+    println!("\nThe HID's appeal (and CR-Spectre's opening): zero slowdown on the");
+    println!("host, at the price of a detector an adaptive attacker can evade.");
+}

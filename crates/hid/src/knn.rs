@@ -1,0 +1,119 @@
+//! k-nearest-neighbours classifier — an instance-based [`Detector`]
+//! family used by several counter-based anomaly detectors in the
+//! literature the paper cites.
+
+use crate::detector::Detector;
+
+/// k-NN over Euclidean distance. Stores the training set verbatim.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    /// Number of neighbours consulted (odd avoids ties).
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<u8>,
+}
+
+impl Knn {
+    /// Creates an untrained k-NN with `k = 5`.
+    pub fn new() -> Knn {
+        Knn { k: 5, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Creates an untrained k-NN with a custom `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn with_k(k: usize) -> Knn {
+        assert!(k > 0, "k must be nonzero");
+        Knn { k, x: Vec::new(), y: Vec::new() }
+    }
+
+    fn distance2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl Default for Knn {
+    fn default() -> Knn {
+        Knn::new()
+    }
+}
+
+impl Detector for Knn {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        assert_eq!(x.len(), y.len(), "features/labels mismatch");
+        assert!(!x.is_empty(), "cannot fit on no data");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, row: &[f64]) -> u8 {
+        assert!(!self.x.is_empty(), "knn must be fitted before predict");
+        let k = self.k.min(self.x.len());
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, u8)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (Knn::distance2(row, xi), yi))
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances")
+        });
+        let attacks = dists[..k].iter().filter(|(_, label)| *label == 1).count();
+        u8::from(attacks * 2 > k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::testdata::{blobs, xor_data};
+
+    #[test]
+    fn fits_blobs_and_xor() {
+        let (x, y) = blobs(200, 3, 2.5, 41);
+        let mut knn = Knn::new();
+        knn.fit(&x, &y);
+        assert!(knn.accuracy(&x, &y) > 0.95);
+
+        let (x, y) = xor_data(300, 43);
+        let mut knn = Knn::new();
+        knn.fit(&x, &y);
+        assert!(knn.accuracy(&x, &y) > 0.9, "kNN handles XOR locally");
+    }
+
+    #[test]
+    fn k_one_memorizes_training_data() {
+        let (x, y) = blobs(100, 2, 1.0, 47);
+        let mut knn = Knn::with_k(1);
+        knn.fit(&x, &y);
+        assert!((knn.accuracy(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let mut knn = Knn::with_k(99);
+        knn.fit(&[vec![0.0], vec![10.0]], &[0, 1]);
+        // With both neighbours voting, attacks*2 > k requires strict
+        // majority — a tie votes benign.
+        assert_eq!(knn.predict(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be nonzero")]
+    fn zero_k_panics() {
+        let _ = Knn::with_k(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before predict")]
+    fn predict_before_fit_panics() {
+        let _ = Knn::new().predict(&[0.0]);
+    }
+}

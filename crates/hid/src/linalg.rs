@@ -1,0 +1,121 @@
+//! Minimal dense linear algebra for the from-scratch classifiers.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out += alpha * x` (axpy).
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "axpy of mismatched lengths");
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// Scales a vector in place.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Rectified linear unit.
+pub fn relu(z: f64) -> f64 {
+    z.max(0.0)
+}
+
+/// Derivative of ReLU (0 at the kink, as is conventional).
+pub fn relu_grad(z: f64) -> f64 {
+    if z > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Matrix–vector product: `m` is row-major `[rows][cols]`.
+///
+/// # Panics
+///
+/// Panics when a row's width differs from `x`.
+pub fn matvec(m: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    m.iter().map(|row| dot(row, x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut out);
+        assert_eq!(out, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![2.0, -4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        // Stability at extremes.
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+        // Symmetry.
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu_grad(-1.0), 0.0);
+        assert_eq!(relu_grad(1.0), 1.0);
+        assert_eq!(relu_grad(0.0), 0.0);
+    }
+
+    #[test]
+    fn matvec_shape() {
+        let m = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![1.0, 1.0]];
+        assert_eq!(matvec(&m, &[3.0, 4.0]), vec![3.0, 8.0, 7.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Classification metrics beyond plain accuracy: the confusion matrix
+//! and the derived rates.
+//!
+//! The paper reports a single accuracy number per attempt; these metrics
+//! expose what that number hides — in particular the **false-positive
+//! rate** a self-poisoned online HID accumulates while chasing dynamic
+//! perturbation variants.
+
+use crate::detector::Hid;
+
+/// A binary confusion matrix (attack = positive class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Attack windows flagged attack.
+    pub true_positives: usize,
+    /// Benign windows flagged attack (false alarms).
+    pub false_positives: usize,
+    /// Benign windows passed as benign.
+    pub true_negatives: usize,
+    /// Attack windows passed as benign (misses).
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Builds the matrix by classifying labelled raw rows with `hid`.
+    pub fn measure(hid: &Hid, rows: &[Vec<f64>], labels: &[u8]) -> Confusion {
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let mut c = Confusion::default();
+        for (row, &label) in rows.iter().zip(labels) {
+            match (label, hid.classify(row)) {
+                (1, 1) => c.true_positives += 1,
+                (0, 1) => c.false_positives += 1,
+                (0, 0) => c.true_negatives += 1,
+                (1, 0) => c.false_negatives += 1,
+                _ => unreachable!("labels are 0/1"),
+            }
+        }
+        c
+    }
+
+    /// Total samples counted.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Attack recall (the paper's Figures 5/6 metric).
+    pub fn recall(&self) -> f64 {
+        let p = self.true_positives + self.false_negatives;
+        if p == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / p as f64
+    }
+
+    /// Precision of attack flags.
+    pub fn precision(&self) -> f64 {
+        let flagged = self.true_positives + self.false_positives;
+        if flagged == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / flagged as f64
+    }
+
+    /// False-positive rate over benign windows (the defender's alarm
+    /// fatigue).
+    pub fn false_positive_rate(&self) -> f64 {
+        let n = self.false_positives + self.true_negatives;
+        if n == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / n as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{HidKind, HidMode};
+    use cr_spectre_hpc::dataset::{Dataset, Label};
+
+    fn trained_hid() -> Hid {
+        let mut train = Dataset::new();
+        for i in 0..100 {
+            let attack = i % 2 == 1;
+            let base = if attack { 10.0 } else { 1.0 };
+            train.push_row(
+                vec![base + (i % 5) as f64 * 0.1],
+                if attack { Label::Attack } else { Label::Benign },
+            );
+        }
+        Hid::train(HidKind::Lr, HidMode::Offline, train)
+    }
+
+    #[test]
+    fn perfect_classifier_has_perfect_metrics() {
+        let hid = trained_hid();
+        let rows = vec![vec![1.0], vec![10.0], vec![1.2], vec![10.2]];
+        let labels = vec![0, 1, 0, 1];
+        let c = Confusion::measure(&hid, &rows, &labels);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let c = Confusion {
+            true_positives: 6,
+            false_positives: 2,
+            true_negatives: 8,
+            false_negatives: 4,
+        };
+        assert_eq!(c.total(), 20);
+        assert!((c.accuracy() - 0.7).abs() < 1e-12);
+        assert!((c.recall() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 0.2).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.false_positive_rate(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dense feed-forward networks: the paper's "MLP (Sklearn)" 3-layer
+//! classifier and the "NN (TensorFlow)" 6-layer ReLU network, both
+//! implemented from scratch with backpropagation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::detector::Detector;
+use crate::linalg::{relu, relu_grad, sigmoid};
+
+/// A dense network with ReLU hidden layers and a single sigmoid output,
+/// trained with per-sample SGD on binary cross-entropy.
+#[derive(Debug, Clone)]
+pub struct DenseNet {
+    name: &'static str,
+    hidden: Vec<usize>,
+    /// `weights[l][j][i]`: layer `l`, output unit `j`, input unit `i`.
+    weights: Vec<Vec<Vec<f64>>>,
+    biases: Vec<Vec<f64>>,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Full passes over the training data.
+    pub epochs: usize,
+    /// Initialization/shuffling seed.
+    pub seed: u64,
+}
+
+impl DenseNet {
+    /// A network with the given hidden-layer widths.
+    pub fn new(name: &'static str, hidden: Vec<usize>) -> DenseNet {
+        assert!(!hidden.is_empty(), "need at least one hidden layer");
+        DenseNet {
+            name,
+            hidden,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            learning_rate: 0.02,
+            epochs: 80,
+            seed: 31,
+        }
+    }
+
+    /// The paper's 3-layer MLP (input → two hidden ReLU layers → output).
+    pub fn mlp() -> DenseNet {
+        DenseNet::new("MLP", vec![24, 12])
+    }
+
+    /// The paper's 6-layer ReLU network (five hidden layers → output).
+    pub fn nn6() -> DenseNet {
+        DenseNet::new("NN", vec![32, 24, 16, 12, 8])
+    }
+
+    fn init(&mut self, input_dim: usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sizes = vec![input_dim];
+        sizes.extend_from_slice(&self.hidden);
+        sizes.push(1);
+        self.weights.clear();
+        self.biases.clear();
+        for l in 0..sizes.len() - 1 {
+            let fan_in = sizes[l] as f64;
+            let bound = (2.0 / fan_in).sqrt();
+            let layer: Vec<Vec<f64>> = (0..sizes[l + 1])
+                .map(|_| (0..sizes[l]).map(|_| rng.random_range(-bound..bound)).collect())
+                .collect();
+            self.weights.push(layer);
+            self.biases.push(vec![0.0; sizes[l + 1]]);
+        }
+    }
+
+    /// Forward pass returning pre-activations and activations per layer.
+    fn forward(&self, row: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let layers = self.weights.len();
+        let mut zs = Vec::with_capacity(layers);
+        let mut acts = Vec::with_capacity(layers + 1);
+        acts.push(row.to_vec());
+        for l in 0..layers {
+            let input = &acts[l];
+            let z: Vec<f64> = self.weights[l]
+                .iter()
+                .zip(&self.biases[l])
+                .map(|(w, b)| w.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+                .collect();
+            let a: Vec<f64> = if l == layers - 1 {
+                z.iter().map(|&v| sigmoid(v)).collect()
+            } else {
+                z.iter().map(|&v| relu(v)).collect()
+            };
+            zs.push(z);
+            acts.push(a);
+        }
+        (zs, acts)
+    }
+
+    /// Probability that `row` is an attack sample.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        let (_, acts) = self.forward(row);
+        acts.last().expect("output layer")[0]
+    }
+
+    fn backprop(&mut self, row: &[f64], target: f64) {
+        let layers = self.weights.len();
+        let (zs, acts) = self.forward(row);
+        // Output delta for sigmoid + BCE: (p - t).
+        let mut delta = vec![acts[layers][0] - target];
+        for l in (0..layers).rev() {
+            // Gradient step for this layer, then propagate.
+            let prev_delta: Vec<f64> = if l > 0 {
+                (0..self.weights[l][0].len())
+                    .map(|i| {
+                        let upstream: f64 = delta
+                            .iter()
+                            .enumerate()
+                            .map(|(j, d)| d * self.weights[l][j][i])
+                            .sum();
+                        upstream * relu_grad(zs[l - 1][i])
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            for (j, d) in delta.iter().enumerate() {
+                for (w, &a) in self.weights[l][j].iter_mut().zip(&acts[l]) {
+                    *w -= self.learning_rate * d * a;
+                }
+                self.biases[l][j] -= self.learning_rate * d;
+            }
+            delta = prev_delta;
+        }
+    }
+}
+
+impl Detector for DenseNet {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        assert_eq!(x.len(), y.len(), "features/labels mismatch");
+        assert!(!x.is_empty(), "cannot fit on no data");
+        self.init(x[0].len());
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                self.backprop(&x[i], f64::from(y[i]));
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> u8 {
+        u8::from(self.predict_proba(row) >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::testdata::{blobs, xor_data};
+
+    #[test]
+    fn mlp_learns_blobs() {
+        let (x, y) = blobs(200, 3, 2.5, 21);
+        let mut net = DenseNet::mlp();
+        net.fit(&x, &y);
+        assert!(net.accuracy(&x, &y) > 0.95, "got {}", net.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn mlp_learns_xor_unlike_linear_models() {
+        let (x, y) = xor_data(300, 13);
+        let mut net = DenseNet::mlp();
+        net.epochs = 200;
+        net.fit(&x, &y);
+        assert!(net.accuracy(&x, &y) > 0.9, "got {}", net.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn nn6_has_six_weight_layers() {
+        let mut net = DenseNet::nn6();
+        let (x, y) = blobs(50, 2, 3.0, 5);
+        net.fit(&x, &y);
+        assert_eq!(net.weights.len(), 6, "5 hidden + output");
+        assert!(net.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn proba_bounded() {
+        let (x, y) = blobs(60, 2, 2.0, 8);
+        let mut net = DenseNet::mlp();
+        net.fit(&x, &y);
+        for row in &x {
+            let p = net.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, y) = blobs(80, 2, 2.0, 30);
+        let mut a = DenseNet::mlp();
+        a.fit(&x, &y);
+        let mut b = DenseNet::mlp();
+        b.fit(&x, &y);
+        for row in &x {
+            assert_eq!(a.predict_proba(row), b.predict_proba(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden layer")]
+    fn empty_hidden_panics() {
+        let _ = DenseNet::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the detector stack.
+
+use proptest::prelude::*;
+
+use cr_spectre_hid::detector::{Detector, Hid, HidKind, HidMode};
+use cr_spectre_hid::linalg::{dot, sigmoid};
+use cr_spectre_hid::{DenseNet, LinearSvm, LogisticRegression};
+use cr_spectre_hpc::dataset::{Dataset, Label};
+
+fn separable(n: usize, sep: f64, seed: u64) -> Dataset {
+    let mut d = Dataset::new();
+    let mut state = seed | 1;
+    for i in 0..n {
+        let label = if i % 2 == 0 { Label::Benign } else { Label::Attack };
+        let center = if i % 2 == 0 { -sep } else { sep };
+        let row = (0..3)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                center + (state % 1000) as f64 / 1000.0 - 0.5
+            })
+            .collect();
+        d.push_row(row, label);
+    }
+    d
+}
+
+proptest! {
+    // Model fitting is expensive (especially unoptimized); a handful of
+    // seeds per property keeps the suite fast while still fuzzing.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sigmoid is bounded, monotone and symmetric for all inputs.
+    #[test]
+    fn sigmoid_properties(z in -1e6f64..1e6) {
+        let s = sigmoid(z);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(sigmoid(z + 1.0) >= s);
+        prop_assert!((s + sigmoid(-z) - 1.0).abs() < 1e-9);
+    }
+
+    /// Dot product is symmetric and linear for all vectors.
+    #[test]
+    fn dot_is_symmetric_bilinear(
+        a in proptest::collection::vec(-1e3f64..1e3, 4),
+        b in proptest::collection::vec(-1e3f64..1e3, 4),
+        k in -10.0f64..10.0,
+    ) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-6);
+        let ka: Vec<f64> = a.iter().map(|x| x * k).collect();
+        prop_assert!((dot(&ka, &b) - k * dot(&a, &b)).abs() < 1e-3);
+    }
+
+    /// Every classifier family fits cleanly separable data to high
+    /// accuracy regardless of the sampling seed.
+    #[test]
+    fn all_models_fit_separable_data(seed in any::<u64>()) {
+        let data = separable(120, 4.0, seed);
+        for kind in HidKind::ALL {
+            let mut model = kind.build();
+            model.fit(&data.x, &data.y);
+            let acc = model.accuracy(&data.x, &data.y);
+            prop_assert!(acc > 0.9, "{}: {}", kind.name(), acc);
+        }
+    }
+
+    /// Predictions are deterministic: the same trained model classifies
+    /// the same row identically forever.
+    #[test]
+    fn prediction_is_pure(seed in any::<u64>(), probe in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        let data = separable(60, 3.0, seed);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&data.x, &data.y);
+        prop_assert_eq!(lr.predict(&probe), lr.predict(&probe));
+        let mut svm = LinearSvm::new();
+        svm.fit(&data.x, &data.y);
+        prop_assert_eq!(svm.predict(&probe), svm.predict(&probe));
+        let mut net = DenseNet::mlp();
+        net.fit(&data.x, &data.y);
+        prop_assert_eq!(net.predict(&probe), net.predict(&probe));
+    }
+
+    /// detection_rate is always a probability, and equals 1 − rate of
+    /// the complement set.
+    #[test]
+    fn detection_rate_is_a_probability(seed in any::<u64>()) {
+        let data = separable(100, 3.0, seed);
+        let hid = Hid::train(HidKind::Svm, HidMode::Offline, data.clone());
+        let rate = hid.detection_rate(&data.x);
+        prop_assert!((0.0..=1.0).contains(&rate));
+        let flagged = data.x.iter().filter(|r| hid.classify(r) == 1).count();
+        prop_assert!((rate - flagged as f64 / data.len() as f64).abs() < 1e-12);
+    }
+
+    /// The online corpus cap is respected after any number of observes.
+    #[test]
+    fn observed_cap_bounds_corpus(batches in proptest::collection::vec(10usize..80, 1..6)) {
+        let initial = separable(60, 3.0, 5);
+        let mut hid = Hid::train(HidKind::Lr, HidMode::Online, initial);
+        hid.set_observed_cap(100);
+        for (i, n) in batches.iter().enumerate() {
+            let rows: Vec<Vec<f64>> = (0..*n).map(|k| vec![k as f64, i as f64, 0.0]).collect();
+            hid.observe(&rows, Label::Attack);
+            prop_assert!(hid.corpus_len() <= 60 + 100);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Gadget model: `RET`-terminated instruction sequences and their
+//! semantic classification.
+
+use std::fmt;
+
+use cr_spectre_sim::isa::{AluOp, Instr, Reg};
+
+/// What a gadget does, summarized for the chain builder.
+///
+/// Classification looks at the instructions *before* the terminating
+/// `RET`. Only shapes the chain builder knows how to exploit get a
+/// dedicated variant; everything else is [`GadgetKind::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GadgetKind {
+    /// A bare `ret` (stack stepping stone / NOP of ROP).
+    Ret,
+    /// `pop rN; ret` — loads the next stack word into a register.
+    PopReg(Reg),
+    /// `pop rA; pop rB; ret` — loads two stack words.
+    PopPop(Reg, Reg),
+    /// `mov rD, rS; ret`.
+    MovReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `op rD, rS1, rS2; ret`.
+    Alu(AluOp, Reg, Reg, Reg),
+    /// `add sp, sp, k; ret` — lifts the stack pointer (skips chain bytes).
+    AddSp(i32),
+    /// `st [rBase+off], rSrc; ret` — arbitrary write.
+    StoreMem {
+        /// Base address register.
+        base: Reg,
+        /// Stored register.
+        src: Reg,
+        /// Immediate offset.
+        offset: i32,
+    },
+    /// `ld rDst, [rBase+off]; ret` — arbitrary read.
+    LoadMem {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Immediate offset.
+        offset: i32,
+    },
+    /// `syscall; ret` — the system-call trampoline.
+    SyscallRet,
+    /// Decodable and `RET`-terminated, but not a shape the builder uses.
+    Other,
+}
+
+/// A gadget: its guest address and decoded instructions (the last is
+/// always `RET`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    /// Guest address of the first instruction.
+    pub addr: u64,
+    /// The instruction sequence, terminator included.
+    pub instrs: Vec<Instr>,
+    /// Semantic classification.
+    pub kind: GadgetKind,
+}
+
+impl Gadget {
+    /// Builds a gadget from a decoded sequence, classifying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty or does not end with `RET` — the
+    /// scanner only ever constructs `RET`-terminated sequences.
+    pub fn new(addr: u64, instrs: Vec<Instr>) -> Gadget {
+        assert_eq!(instrs.last(), Some(&Instr::Ret), "gadget must end in ret");
+        let kind = classify(&instrs);
+        Gadget { addr, instrs, kind }
+    }
+
+    /// Number of instructions including the `RET`.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// A gadget always has at least the `RET`, so this is always `false`;
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// How many stack words the gadget consumes **after** its own address
+    /// word and **before** the next gadget address (i.e. `pop` count plus
+    /// `add sp` words).
+    pub fn stack_words(&self) -> usize {
+        self.instrs
+            .iter()
+            .map(|i| match i {
+                Instr::Pop(_) => 1,
+                Instr::Alui(AluOp::Add, rd, rs, k)
+                    if *rd == Reg::SP && *rs == Reg::SP && *k > 0 =>
+                {
+                    (*k as usize) / 8
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Gadget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: ", self.addr)?;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classifies an instruction sequence (which must end in `RET`).
+fn classify(instrs: &[Instr]) -> GadgetKind {
+    let body = &instrs[..instrs.len() - 1];
+    match body {
+        [] => GadgetKind::Ret,
+        [Instr::Pop(r)] => GadgetKind::PopReg(*r),
+        [Instr::Pop(a), Instr::Pop(b)] => GadgetKind::PopPop(*a, *b),
+        [Instr::Mov(d, s)] => GadgetKind::MovReg { dst: *d, src: *s },
+        [Instr::Alui(AluOp::Add, rd, rs, k)] if *rd == Reg::SP && *rs == Reg::SP => {
+            GadgetKind::AddSp(*k)
+        }
+        [Instr::Alu(op, d, s1, s2)] => GadgetKind::Alu(*op, *d, *s1, *s2),
+        [Instr::St(cr_spectre_sim::isa::Width::D, base, src, off)] => {
+            GadgetKind::StoreMem { base: *base, src: *src, offset: *off }
+        }
+        [Instr::Ld(cr_spectre_sim::isa::Width::D, dst, base, off)] => {
+            GadgetKind::LoadMem { dst: *dst, base: *base, offset: *off }
+        }
+        [Instr::Syscall] => GadgetKind::SyscallRet,
+        _ => GadgetKind::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_sim::isa::Width;
+
+    #[test]
+    fn classify_pop_ret() {
+        let g = Gadget::new(0x100, vec![Instr::Pop(Reg::R1), Instr::Ret]);
+        assert_eq!(g.kind, GadgetKind::PopReg(Reg::R1));
+        assert_eq!(g.stack_words(), 1);
+    }
+
+    #[test]
+    fn classify_bare_ret() {
+        let g = Gadget::new(0, vec![Instr::Ret]);
+        assert_eq!(g.kind, GadgetKind::Ret);
+        assert_eq!(g.stack_words(), 0);
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn classify_pop_pop() {
+        let g = Gadget::new(0, vec![Instr::Pop(Reg::R1), Instr::Pop(Reg::R2), Instr::Ret]);
+        assert_eq!(g.kind, GadgetKind::PopPop(Reg::R1, Reg::R2));
+        assert_eq!(g.stack_words(), 2);
+    }
+
+    #[test]
+    fn classify_add_sp() {
+        let g = Gadget::new(
+            0,
+            vec![Instr::Alui(AluOp::Add, Reg::SP, Reg::SP, 16), Instr::Ret],
+        );
+        assert_eq!(g.kind, GadgetKind::AddSp(16));
+        assert_eq!(g.stack_words(), 2);
+    }
+
+    #[test]
+    fn classify_syscall_ret() {
+        let g = Gadget::new(0, vec![Instr::Syscall, Instr::Ret]);
+        assert_eq!(g.kind, GadgetKind::SyscallRet);
+    }
+
+    #[test]
+    fn classify_store_and_load() {
+        let st = Gadget::new(0, vec![Instr::St(Width::D, Reg::R1, Reg::R2, 0), Instr::Ret]);
+        assert_eq!(st.kind, GadgetKind::StoreMem { base: Reg::R1, src: Reg::R2, offset: 0 });
+        let ld = Gadget::new(0, vec![Instr::Ld(Width::D, Reg::R1, Reg::R1, 8), Instr::Ret]);
+        assert_eq!(ld.kind, GadgetKind::LoadMem { dst: Reg::R1, base: Reg::R1, offset: 8 });
+    }
+
+    #[test]
+    fn classify_other() {
+        let g = Gadget::new(0, vec![Instr::Nop, Instr::Nop, Instr::Ret]);
+        assert_eq!(g.kind, GadgetKind::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end in ret")]
+    fn non_ret_terminated_panics() {
+        let _ = Gadget::new(0, vec![Instr::Nop]);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let g = Gadget::new(0x40, vec![Instr::Pop(Reg::R2), Instr::Ret]);
+        let s = g.to_string();
+        assert!(s.contains("0x40"));
+        assert!(s.contains("pop r2; ret"));
+    }
+}

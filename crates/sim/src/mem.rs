@@ -1,0 +1,397 @@
+//! Guest physical memory with page-granular protection.
+//!
+//! The machine exposes one flat address space backed by a byte array and a
+//! page-permission table. Permissions implement the defenses the paper
+//! discusses: Data Execution Prevention is simply "stack and heap pages do
+//! not carry `Perms::X`", which is why the attack must reuse existing
+//! code (ROP) instead of injecting new code.
+
+use std::fmt;
+
+/// Page size used for the permission table, in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page permissions (read / write / execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms {
+    /// Loads allowed.
+    pub r: bool,
+    /// Stores allowed.
+    pub w: bool,
+    /// Instruction fetch allowed.
+    pub x: bool,
+}
+
+impl Perms {
+    /// Read-only data pages.
+    pub const R: Perms = Perms { r: true, w: false, x: false };
+    /// Read-write data pages.
+    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    /// Read-execute code pages (W^X).
+    pub const RX: Perms = Perms { r: true, w: false, x: true };
+    /// All permissions — only used when DEP is disabled.
+    pub const RWX: Perms = Perms { r: true, w: true, x: true };
+    /// No access (guard pages).
+    pub const NONE: Perms = Perms { r: false, w: false, x: false };
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'r' } else { '-' },
+            if self.w { 'w' } else { '-' },
+            if self.x { 'x' } else { '-' }
+        )
+    }
+}
+
+/// Kind of access that triggered a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Fetch => write!(f, "fetch"),
+        }
+    }
+}
+
+/// A memory protection fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting guest address.
+    pub addr: u64,
+    /// What the access was trying to do.
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault: {} at {:#x}", self.kind, self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat guest memory with a page-permission table.
+///
+/// # Examples
+///
+/// ```
+/// use cr_spectre_sim::mem::{Memory, Perms};
+///
+/// let mut mem = Memory::new(64 * 1024);
+/// mem.set_perms(0x1000, 0x1000, Perms::RW);
+/// mem.write_u64(0x1000, 0xdead_beef)?;
+/// assert_eq!(mem.read_u64(0x1000)?, 0xdead_beef);
+/// # Ok::<(), cr_spectre_sim::mem::MemFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    page_perms: Vec<Perms>,
+}
+
+impl Memory {
+    /// Creates a memory of `size` bytes (rounded up to a whole page), with
+    /// all pages initially inaccessible.
+    pub fn new(size: u64) -> Memory {
+        let pages = size.div_ceil(PAGE_SIZE) as usize;
+        Memory {
+            bytes: vec![0; pages * PAGE_SIZE as usize],
+            page_perms: vec![Perms::NONE; pages],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Sets permissions for all pages overlapping `[addr, addr + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the end of memory.
+    pub fn set_perms(&mut self, addr: u64, len: u64, perms: Perms) {
+        assert!(addr + len <= self.size(), "set_perms out of range");
+        if len == 0 {
+            return;
+        }
+        let first = (addr / PAGE_SIZE) as usize;
+        let last = ((addr + len - 1) / PAGE_SIZE) as usize;
+        for page in &mut self.page_perms[first..=last] {
+            *page = perms;
+        }
+    }
+
+    /// Returns the permissions of the page containing `addr`, or `NONE` for
+    /// out-of-range addresses.
+    pub fn perms_at(&self, addr: u64) -> Perms {
+        self.page_perms
+            .get((addr / PAGE_SIZE) as usize)
+            .copied()
+            .unwrap_or(Perms::NONE)
+    }
+
+    fn check(&self, addr: u64, len: u64, kind: AccessKind) -> Result<(), MemFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let end = addr.checked_add(len - 1).ok_or(MemFault { addr, kind })?;
+        if end >= self.size() {
+            return Err(MemFault { addr, kind });
+        }
+        // Check each page the access touches.
+        let mut page_addr = addr & !(PAGE_SIZE - 1);
+        while page_addr <= end {
+            let perms = self.perms_at(page_addr);
+            let ok = match kind {
+                AccessKind::Read => perms.r,
+                AccessKind::Write => perms.w,
+                AccessKind::Fetch => perms.x,
+            };
+            if !ok {
+                return Err(MemFault { addr: page_addr.max(addr), kind });
+            }
+            page_addr += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if any touched page lacks read permission or
+    /// the range is out of bounds.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check(addr, buf.len() as u64, AccessKind::Read)?;
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `data` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if any touched page lacks write permission or
+    /// the range is out of bounds.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
+        self.check(addr, data.len() as u64, AccessKind::Write)?;
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fetches instruction bytes: like [`Memory::read`] but requires execute
+    /// permission (DEP enforcement point).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] when the page is not executable.
+    pub fn fetch(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check(addr, buf.len() as u64, AccessKind::Fetch)?;
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::read`].
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        let mut b = [0u8; 1];
+        self.read(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::read`].
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemFault> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::read`].
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write`].
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemFault> {
+        self.write(addr, &[value])
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write`].
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), MemFault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write`].
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), MemFault> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes starting at
+    /// `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] on an unreadable byte before the terminator.
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max as u64 {
+            let b = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Writes raw bytes ignoring permissions — loader/debugger use only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads raw bytes ignoring permissions — loader/debugger use only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_memory_is_inaccessible() {
+        let mem = Memory::new(PAGE_SIZE * 4);
+        assert!(mem.read_u8(0).is_err());
+        assert_eq!(mem.size(), PAGE_SIZE * 4);
+    }
+
+    #[test]
+    fn size_rounds_up_to_page() {
+        let mem = Memory::new(PAGE_SIZE + 1);
+        assert_eq!(mem.size(), PAGE_SIZE * 2);
+    }
+
+    #[test]
+    fn rw_round_trip() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        mem.write_u64(8, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(mem.read_u64(8).unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u32(8).unwrap(), 0x89ab_cdef);
+        assert_eq!(mem.read_u8(15).unwrap(), 0x01);
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.set_perms(0, PAGE_SIZE, Perms::R);
+        let err = mem.write_u8(0, 1).unwrap_err();
+        assert_eq!(err.kind, AccessKind::Write);
+        assert!(mem.read_u8(0).is_ok());
+    }
+
+    #[test]
+    fn fetch_requires_execute() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        mem.set_perms(PAGE_SIZE, PAGE_SIZE, Perms::RX);
+        let mut buf = [0u8; 8];
+        // DEP: data page is readable but not executable.
+        assert_eq!(
+            mem.fetch(0, &mut buf).unwrap_err().kind,
+            AccessKind::Fetch
+        );
+        assert!(mem.fetch(PAGE_SIZE, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn cross_page_access_checks_both_pages() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        // Second page stays NONE; an 8-byte write straddling the boundary
+        // must fault even though it starts on a writable page.
+        assert!(mem.write_u64(PAGE_SIZE - 4, 0).is_err());
+        mem.set_perms(PAGE_SIZE, PAGE_SIZE, Perms::RW);
+        assert!(mem.write_u64(PAGE_SIZE - 4, 0).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        assert!(mem.read_u64(PAGE_SIZE - 4).is_err());
+        assert!(mem.read_u8(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        mem.write(100, b"spectre\0junk").unwrap();
+        assert_eq!(mem.read_cstr(100, 64).unwrap(), b"spectre");
+        // Max cap stops the scan.
+        assert_eq!(mem.read_cstr(100, 3).unwrap(), b"spe");
+    }
+
+    #[test]
+    fn poke_peek_bypass_permissions() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        mem.poke(0, &[1, 2, 3]);
+        assert_eq!(mem.peek(0, 3), &[1, 2, 3]);
+        assert!(mem.read_u8(0).is_err(), "architectural access still faults");
+    }
+}

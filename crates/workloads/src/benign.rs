@@ -1,0 +1,241 @@
+//! Synthetic benign applications.
+//!
+//! The paper trains its HID on "applications like browsers, text editors,
+//! etc. ... to emulate a practical situation". These programs provide that
+//! benign diversity: each has a distinct microarchitectural mix so the
+//! detector's benign class is not a single point.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_asm::runtime::add_runtime;
+use cr_spectre_sim::image::Image;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+use crate::mibench::emit_xorshift;
+
+/// A benign background application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenignApp {
+    /// Browser-like: copies, hashing and a branchy state machine.
+    Browser,
+    /// Editor-like: buffer shifting and line scanning.
+    Editor,
+    /// Idle-like: light loop with sporadic memory touches.
+    Idle,
+}
+
+impl BenignApp {
+    /// All benign applications.
+    pub const ALL: [BenignApp; 3] = [BenignApp::Browser, BenignApp::Editor, BenignApp::Idle];
+
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenignApp::Browser => "browser",
+            BenignApp::Editor => "editor",
+            BenignApp::Idle => "idle",
+        }
+    }
+
+    /// Emits the routine and returns its entry label.
+    pub fn emit(self, asm: &mut Asm) -> &'static str {
+        match self {
+            BenignApp::Browser => emit_browser(asm, 120),
+            BenignApp::Editor => emit_editor(asm, 160),
+            BenignApp::Idle => emit_idle(asm, 4_000),
+        }
+    }
+
+    /// Builds a standalone runnable image of this application.
+    pub fn image(self) -> Image {
+        let mut asm = Asm::new();
+        let entry = self.emit(&mut asm);
+        asm.label("main");
+        asm.call(entry);
+        asm.halt();
+        asm.entry("main");
+        add_runtime(&mut asm);
+        asm.build(self.name()).expect("benign app assembles")
+    }
+}
+
+impl std::fmt::Display for BenignApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Browser-ish mix: per "event", dispatch on PRNG state to a copy burst,
+/// a hash burst, or a scan burst over a 4 KiB working set.
+fn emit_browser(asm: &mut Asm, events: i32) -> &'static str {
+    asm.data_label("bw_heap");
+    asm.space(4096);
+    asm.label("bw_main");
+    asm.ldi(Reg::R10, 0x0b0b_0b0b); // PRNG
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0); // event
+    asm.ldi(Reg::R2, events);
+    asm.label("bw_loop");
+    emit_xorshift(asm, Reg::R10, Reg::R9);
+    asm.alui(AluOp::And, Reg::R3, Reg::R10, 3);
+    asm.ldi(Reg::R9, 0);
+    asm.br(BranchCond::Eq, Reg::R3, Reg::R9, "bw_copy");
+    asm.ldi(Reg::R9, 1);
+    asm.br(BranchCond::Eq, Reg::R3, Reg::R9, "bw_hash");
+    asm.jmp("bw_scan");
+    // Copy 128 bytes between two PRNG-chosen offsets.
+    asm.label("bw_copy");
+    asm.la(Reg::R4, "bw_heap");
+    asm.alui(AluOp::And, Reg::R5, Reg::R10, 0x7ff);
+    asm.alu(AluOp::Add, Reg::R5, Reg::R4, Reg::R5); // src
+    asm.alui(AluOp::Shr, Reg::R6, Reg::R10, 17);
+    asm.alui(AluOp::And, Reg::R6, Reg::R6, 0x7ff);
+    asm.alu(AluOp::Add, Reg::R6, Reg::R4, Reg::R6); // dst
+    asm.ldi(Reg::R7, 0);
+    asm.label("bw_copy_loop");
+    asm.ld(Width::B, Reg::R8, Reg::R5, 0);
+    asm.st(Width::B, Reg::R6, Reg::R8, 0);
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
+    asm.alui(AluOp::Add, Reg::R7, Reg::R7, 1);
+    asm.ldi(Reg::R8, 128);
+    asm.br(BranchCond::Ltu, Reg::R7, Reg::R8, "bw_copy_loop");
+    asm.jmp("bw_next");
+    // FNV-ish hash burst.
+    asm.label("bw_hash");
+    asm.mov(Reg::R4, Reg::R10);
+    asm.ldi(Reg::R5, 0);
+    asm.label("bw_hash_loop");
+    asm.alui(AluOp::Mul, Reg::R4, Reg::R4, 0x0100_0193);
+    asm.alui(AluOp::Xor, Reg::R4, Reg::R4, 0x5bd1);
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.ldi(Reg::R8, 64);
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R8, "bw_hash_loop");
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R4);
+    asm.jmp("bw_next");
+    // Scan burst: strided reads.
+    asm.label("bw_scan");
+    asm.la(Reg::R4, "bw_heap");
+    asm.ldi(Reg::R5, 0);
+    asm.label("bw_scan_loop");
+    asm.ld(Width::D, Reg::R8, Reg::R4, 0);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R8);
+    asm.alui(AluOp::Add, Reg::R4, Reg::R4, 72); // stride
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.ldi(Reg::R8, 48);
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R8, "bw_scan_loop");
+    asm.label("bw_next");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "bw_loop");
+    asm.ret();
+    "bw_main"
+}
+
+/// Editor-ish mix: shift a gap buffer by one slot per keystroke and
+/// rescan the current "line".
+fn emit_editor(asm: &mut Asm, keystrokes: i32) -> &'static str {
+    asm.data_label("ed_buf");
+    asm.space(2048);
+    asm.label("ed_main");
+    asm.ldi(Reg::R10, 0xed17); // PRNG
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0);
+    asm.ldi(Reg::R2, keystrokes);
+    asm.label("ed_loop");
+    emit_xorshift(asm, Reg::R10, Reg::R9);
+    // Insert: shift 256 bytes right by one from a PRNG-chosen offset
+    // (backwards copy, as a gap-buffer insertion would).
+    asm.la(Reg::R4, "ed_buf");
+    asm.alui(AluOp::And, Reg::R5, Reg::R10, 0x3ff);
+    asm.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R5); // region start
+    asm.ldi(Reg::R5, 256); // k counts down
+    asm.label("ed_shift");
+    asm.alu(AluOp::Add, Reg::R6, Reg::R4, Reg::R5);
+    asm.ld(Width::B, Reg::R7, Reg::R6, -1);
+    asm.st(Width::B, Reg::R6, Reg::R7, 0);
+    asm.alui(AluOp::Sub, Reg::R5, Reg::R5, 1);
+    asm.br(BranchCond::Ne, Reg::R5, Reg::R0, "ed_shift");
+    // Rescan the "line": 80 byte reads with a compare.
+    asm.ldi(Reg::R5, 0);
+    asm.label("ed_scan");
+    asm.alu(AluOp::Add, Reg::R6, Reg::R4, Reg::R5);
+    asm.ld(Width::B, Reg::R7, Reg::R6, 0);
+    asm.ldi(Reg::R8, b'\n' as i32);
+    asm.br(BranchCond::Eq, Reg::R7, Reg::R8, "ed_scan_hit");
+    asm.alui(AluOp::Add, Reg::R11, Reg::R11, 1);
+    asm.label("ed_scan_hit");
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.ldi(Reg::R8, 80);
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R8, "ed_scan");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "ed_loop");
+    asm.ret();
+    "ed_main"
+}
+
+/// Idle-ish: mostly ALU spin with a cache touch every 64 iterations.
+fn emit_idle(asm: &mut Asm, iters: i32) -> &'static str {
+    asm.data_label("id_buf");
+    asm.space(512);
+    asm.label("id_main");
+    asm.ldi(Reg::R1, 0);
+    asm.ldi(Reg::R2, iters);
+    asm.ldi(Reg::R11, 0);
+    asm.label("id_loop");
+    asm.alui(AluOp::Add, Reg::R11, Reg::R11, 3);
+    asm.alui(AluOp::And, Reg::R3, Reg::R1, 63);
+    asm.br(BranchCond::Ne, Reg::R3, Reg::R0, "id_skip");
+    asm.la(Reg::R4, "id_buf");
+    asm.alui(AluOp::And, Reg::R5, Reg::R1, 0x1ff);
+    asm.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R5);
+    asm.ld(Width::B, Reg::R6, Reg::R4, 0);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R6);
+    asm.label("id_skip");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "id_loop");
+    asm.ret();
+    "id_main"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_sim::config::MachineConfig;
+    use cr_spectre_sim::cpu::Machine;
+
+    #[test]
+    fn all_benign_apps_run_cleanly() {
+        for app in BenignApp::ALL {
+            let image = app.image();
+            let mut m = Machine::new(MachineConfig::default());
+            let li = m.load(&image).expect("loads");
+            m.start(li.entry);
+            let out = m.run();
+            assert!(out.exit.is_clean(), "{app}: {:?}", out.exit);
+            assert!(out.instructions > 1_000, "{app} does real work");
+        }
+    }
+
+    #[test]
+    fn benign_apps_have_distinct_profiles() {
+        use cr_spectre_sim::pmu::HpcEvent;
+        let mut miss_rates = Vec::new();
+        for app in BenignApp::ALL {
+            let image = app.image();
+            let mut m = Machine::new(MachineConfig::default());
+            let li = m.load(&image).expect("loads");
+            m.start(li.entry);
+            m.run();
+            let s = m.pmu().snapshot();
+            miss_rates.push(
+                s.count(HpcEvent::TotalCacheMiss) as f64
+                    / s.count(HpcEvent::Instructions).max(1) as f64,
+            );
+        }
+        // The three mixes should not all look identical to the PMU.
+        let spread = miss_rates
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - miss_rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(spread > 0.0, "profiles collapsed: {miss_rates:?}");
+    }
+}

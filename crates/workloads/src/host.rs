@@ -1,0 +1,200 @@
+//! Host-application construction: standalone workloads and the paper's
+//! Algorithm-1 vulnerable host.
+//!
+//! The vulnerable host has the exact shape of the paper's pseudocode:
+//! `main` first calls `exploited_function(argv[1])`, which copies the
+//! attacker-controlled argument into a fixed stack buffer with no bounds
+//! check, then falls through to the real workload ("victim code line
+//! 2..5"). The host's `.data` also carries the **secret** that the host
+//! itself never reads — the CR-Spectre target.
+//!
+//! The overflow is a `read()`-style attacker-length copy rather than a
+//! NUL-terminated `strcpy`: our gadget addresses, like most real-world
+//! 64-bit addresses, contain zero bytes, and the attacker-length variant
+//! is the standard CWE-121 shape used in the ROP literature for exactly
+//! that reason. The control-flow consequence is identical to Listing 1.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_asm::runtime::{add_runtime, emit_epilogue, emit_prologue};
+use cr_spectre_sim::image::Image;
+use cr_spectre_sim::isa::Reg;
+
+use crate::mibench::Mibench;
+
+/// The secret stored in the host's address space (never accessed by the
+/// host itself), as in the paper's threat model.
+pub const SECRET: &[u8] = b"The Magic Words are Squeamish Ossifrage.";
+
+/// Symbol of the secret within host images.
+pub const SECRET_SYMBOL: &str = "secret";
+/// Symbol of the instruction after the vulnerable call (chain resume
+/// point).
+pub const RESUME_SYMBOL: &str = "host_continues";
+/// Symbol of the vulnerable function.
+pub const VULN_SYMBOL: &str = "exploited_function";
+
+/// Options for building a vulnerable host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostOptions {
+    /// Stack-buffer size in bytes (rounded up to 8); the paper uses 100.
+    pub buffer_size: u32,
+    /// Compile the vulnerable function with a stack canary.
+    pub canary: bool,
+}
+
+impl Default for HostOptions {
+    fn default() -> HostOptions {
+        HostOptions { buffer_size: 104, canary: false }
+    }
+}
+
+/// A built vulnerable host with its frame-layout facts.
+#[derive(Debug, Clone)]
+pub struct VulnerableHost {
+    /// The linked image (register or load it into a machine).
+    pub image: Image,
+    /// The workload wrapped inside.
+    pub workload: Mibench,
+    /// Frame (buffer) size in bytes.
+    pub frame_size: u32,
+    /// Whether the canary mitigation was compiled in.
+    pub canary: bool,
+}
+
+impl VulnerableHost {
+    /// Bytes from the buffer start to the saved return address.
+    pub fn offset_to_ret(&self) -> usize {
+        self.frame_size as usize + if self.canary { 8 } else { 0 }
+    }
+
+    /// Byte offset of the canary slot within the overflow, if compiled in.
+    pub fn canary_offset(&self) -> Option<usize> {
+        self.canary.then_some(self.frame_size as usize)
+    }
+}
+
+/// Builds a standalone (non-vulnerable) image of a workload, with the
+/// runtime linked and the secret in `.data` for trace parity with the
+/// vulnerable variant.
+pub fn standalone_image(workload: Mibench) -> Image {
+    let mut asm = Asm::new();
+    let entry = workload.emit(&mut asm);
+    asm.label("main");
+    asm.call(entry);
+    asm.halt();
+    asm.entry("main");
+    add_runtime(&mut asm);
+    asm.data_label(SECRET_SYMBOL);
+    asm.db(SECRET);
+    asm.build(workload.name()).expect("workload assembles")
+}
+
+/// Builds the Algorithm-1 vulnerable host around `workload`.
+pub fn vulnerable_host(workload: Mibench, options: HostOptions) -> VulnerableHost {
+    let frame = options.buffer_size.div_ceil(8) * 8;
+    let mut asm = Asm::new();
+    let entry = workload.emit(&mut asm);
+    asm.label("main");
+    // exploited_function(argv[1]): argument arrives in (r1 = ptr,
+    // r2 = len) from the loader, exactly Algorithm 1 line 5.
+    asm.call(VULN_SYMBOL);
+    asm.label(RESUME_SYMBOL);
+    asm.call(entry); // victim code lines 2..5
+    asm.halt();
+    asm.entry("main");
+    asm.label(VULN_SYMBOL);
+    emit_prologue(&mut asm, frame, options.canary);
+    // memcpy(buffer, argv[1], attacker_len) — the unbounded copy.
+    asm.mov(Reg::R3, Reg::R2);
+    asm.mov(Reg::R2, Reg::R1);
+    asm.mov(Reg::R1, Reg::SP);
+    asm.call("memcpy");
+    emit_epilogue(&mut asm, frame, options.canary);
+    add_runtime(&mut asm);
+    asm.data_label(SECRET_SYMBOL);
+    asm.db(SECRET);
+    let image = asm
+        .build(format!("host_{}", workload.name()))
+        .expect("host assembles");
+    VulnerableHost { image, workload, frame_size: frame, canary: options.canary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_spectre_sim::config::MachineConfig;
+    use cr_spectre_sim::cpu::Machine;
+    use cr_spectre_sim::error::{ExitReason, Fault};
+    use cr_spectre_sim::isa::Reg;
+
+    #[test]
+    fn standalone_image_runs_and_carries_secret() {
+        let image = standalone_image(Mibench::Crc32);
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&image).expect("loads");
+        let secret_addr = li.addr(SECRET_SYMBOL);
+        m.start(li.entry);
+        assert!(m.run().exit.is_clean());
+        let mut buf = vec![0u8; SECRET.len()];
+        m.mem().read(secret_addr, &mut buf).expect("secret readable");
+        assert_eq!(buf, SECRET);
+    }
+
+    #[test]
+    fn vulnerable_host_runs_benign_input() {
+        let host = vulnerable_host(Mibench::Bitcount50M, HostOptions::default());
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&host.image).expect("loads");
+        m.start_with_arg(li.entry, b"just a normal argument");
+        let out = m.run();
+        assert!(out.exit.is_clean(), "{:?}", out.exit);
+        assert_eq!(
+            m.reg(Reg::R11),
+            Mibench::Bitcount50M.expected_checksum(),
+            "workload ran correctly after the benign call"
+        );
+    }
+
+    #[test]
+    fn overflow_without_canary_hijacks_control() {
+        let host = vulnerable_host(Mibench::Bitcount50M, HostOptions::default());
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&host.image).expect("loads");
+        // Overflow with garbage: the return address becomes 'DDDDDDDD'.
+        let payload = vec![0x44u8; host.offset_to_ret() + 16];
+        m.start_with_arg(li.entry, &payload);
+        let out = m.run();
+        assert!(
+            matches!(out.exit, ExitReason::Fault(_)),
+            "hijacked return must crash on garbage: {:?}",
+            out.exit
+        );
+    }
+
+    #[test]
+    fn canary_host_detects_the_same_overflow() {
+        let host = vulnerable_host(
+            Mibench::Bitcount50M,
+            HostOptions { canary: true, ..HostOptions::default() },
+        );
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&host.image).expect("loads");
+        let payload = vec![0x44u8; host.offset_to_ret() + 16];
+        m.start_with_arg(li.entry, &payload);
+        assert_eq!(m.run().exit, ExitReason::Fault(Fault::Abort), "stack smashing detected");
+    }
+
+    #[test]
+    fn canary_host_layout_facts() {
+        let host = vulnerable_host(
+            Mibench::Crc32,
+            HostOptions { canary: true, buffer_size: 100 },
+        );
+        assert_eq!(host.frame_size, 104, "buffer rounds up to 8");
+        assert_eq!(host.offset_to_ret(), 112);
+        assert_eq!(host.canary_offset(), Some(104));
+        let plain = vulnerable_host(Mibench::Crc32, HostOptions::default());
+        assert_eq!(plain.offset_to_ret(), 104);
+        assert_eq!(plain.canary_offset(), None);
+    }
+}

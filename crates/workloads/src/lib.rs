@@ -1,0 +1,40 @@
+//! # cr-spectre-workloads
+//!
+//! Guest applications for the CR-Spectre reproduction: MiBench-like hosts,
+//! synthetic benign background applications, and the paper's Algorithm-1
+//! vulnerable host wrapper.
+//!
+//! * [`mibench::Mibench`] — eleven workloads modelled on the MiBench suite
+//!   (basicmath, bitcount 50M/100M, SHA 1/2, qsort, crc32, stringsearch,
+//!   dijkstra, fft), each verified against a Rust reference model of its
+//!   checksum;
+//! * [`benign::BenignApp`] — browser/editor/idle mixes for realistic HID
+//!   training sets;
+//! * [`host`] — [`host::standalone_image`] and [`host::vulnerable_host`]
+//!   (the buffer-overflow entry point + in-image secret).
+//!
+//! # Example
+//!
+//! ```
+//! use cr_spectre_workloads::host::{vulnerable_host, HostOptions, SECRET_SYMBOL};
+//! use cr_spectre_workloads::mibench::Mibench;
+//! use cr_spectre_sim::{config::MachineConfig, cpu::Machine};
+//!
+//! let host = vulnerable_host(Mibench::Sha1, HostOptions::default());
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let loaded = machine.load(&host.image).expect("loads");
+//! assert!(loaded.try_addr(SECRET_SYMBOL).is_some());
+//! machine.start_with_arg(loaded.entry, b"benign argv");
+//! assert!(machine.run().exit.is_clean());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benign;
+pub mod host;
+pub mod mibench;
+
+pub use benign::BenignApp;
+pub use host::{vulnerable_host, HostOptions, VulnerableHost, SECRET, SECRET_SYMBOL};
+pub use mibench::Mibench;

@@ -1,0 +1,214 @@
+//! `adpcm`: IMA ADPCM encoding of a synthetic waveform — MiBench's
+//! telecomm kernel: table lookups, clamps and data-dependent branches.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// The IMA ADPCM step-size table.
+const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// The index-adjustment table (by 3-bit magnitude code).
+const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Synthetic input samples shared by guest and model (sawtooth + PRNG
+/// jitter, 16-bit signed range).
+pub(crate) fn samples(n: i32) -> Vec<i64> {
+    let mut x: u32 = 0x0ada_9c5e;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            let saw = i64::from((i * 211) % 4096) - 2048;
+            let jitter = i64::from(x >> 24) - 128;
+            (saw * 8 + jitter).clamp(-32768, 32767)
+        })
+        .collect()
+}
+
+/// Emits the routine; entry label `ad_main`, checksum (sum of 4-bit
+/// codes + final predictor) in `r11`.
+///
+/// Register map: `r1` sample idx, `r2` n, `r3` predictor, `r4` step
+/// index, `r5..r10`, `r13` scratch.
+pub fn emit(asm: &mut Asm, n: i32) -> &'static str {
+    asm.data_label("ad_steps");
+    for s in STEP_TABLE {
+        asm.dq(s as u64);
+    }
+    asm.data_label("ad_index");
+    for s in INDEX_TABLE {
+        asm.dq(s as i64 as u64);
+    }
+    asm.data_label("ad_input");
+    for s in samples(n) {
+        asm.dq(s as u64);
+    }
+
+    asm.label("ad_main");
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0);
+    asm.ldi(Reg::R2, n);
+    asm.ldi(Reg::R3, 0); // predictor
+    asm.ldi(Reg::R4, 0); // step index
+    asm.label("ad_loop");
+    // r5 = input[i]
+    asm.la(Reg::R9, "ad_input");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R5, Reg::R9, 0);
+    // r6 = diff = sample - predictor; r7 = sign bit (8 if negative)
+    asm.alu(AluOp::Sub, Reg::R6, Reg::R5, Reg::R3);
+    asm.ldi(Reg::R7, 0);
+    asm.br(BranchCond::Ge, Reg::R6, Reg::R0, "ad_positive");
+    asm.ldi(Reg::R7, 8);
+    asm.alu(AluOp::Sub, Reg::R6, Reg::R0, Reg::R6); // |diff|
+    asm.label("ad_positive");
+    // r8 = step = steps[index]
+    asm.la(Reg::R9, "ad_steps");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R4, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R8, Reg::R9, 0);
+    // 3-bit magnitude code in r10: bit2 = diff >= step, then halve, etc.
+    asm.ldi(Reg::R10, 0);
+    asm.br(BranchCond::Lt, Reg::R6, Reg::R8, "ad_b2done");
+    asm.alui(AluOp::Or, Reg::R10, Reg::R10, 4);
+    asm.alu(AluOp::Sub, Reg::R6, Reg::R6, Reg::R8);
+    asm.label("ad_b2done");
+    asm.alui(AluOp::Sar, Reg::R8, Reg::R8, 1);
+    asm.br(BranchCond::Lt, Reg::R6, Reg::R8, "ad_b1done");
+    asm.alui(AluOp::Or, Reg::R10, Reg::R10, 2);
+    asm.alu(AluOp::Sub, Reg::R6, Reg::R6, Reg::R8);
+    asm.label("ad_b1done");
+    asm.alui(AluOp::Sar, Reg::R8, Reg::R8, 1);
+    asm.br(BranchCond::Lt, Reg::R6, Reg::R8, "ad_b0done");
+    asm.alui(AluOp::Or, Reg::R10, Reg::R10, 1);
+    asm.label("ad_b0done");
+    // checksum += code | sign
+    asm.alu(AluOp::Or, Reg::R13, Reg::R10, Reg::R7);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R13);
+    // predictor update: delta = (step_orig * code2 + step_orig/2) / 4 …
+    // use the classic reconstruction: diffq = step>>3 + (code&4?step:0)
+    // + (code&2?step>>1:0) + (code&1?step>>2:0), with the *original* step.
+    asm.la(Reg::R9, "ad_steps");
+    asm.alui(AluOp::Shl, Reg::R8, Reg::R4, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R8);
+    asm.ld(Width::D, Reg::R8, Reg::R9, 0); // step again
+    asm.alui(AluOp::Sar, Reg::R13, Reg::R8, 3); // diffq = step >> 3
+    asm.alui(AluOp::And, Reg::R9, Reg::R10, 4);
+    asm.br(BranchCond::Eq, Reg::R9, Reg::R0, "ad_q2");
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R8);
+    asm.label("ad_q2");
+    asm.alui(AluOp::And, Reg::R9, Reg::R10, 2);
+    asm.br(BranchCond::Eq, Reg::R9, Reg::R0, "ad_q1");
+    asm.alui(AluOp::Sar, Reg::R9, Reg::R8, 1);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.label("ad_q1");
+    asm.alui(AluOp::And, Reg::R9, Reg::R10, 1);
+    asm.br(BranchCond::Eq, Reg::R9, Reg::R0, "ad_q0");
+    asm.alui(AluOp::Sar, Reg::R9, Reg::R8, 2);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.label("ad_q0");
+    // predictor += sign ? -diffq : diffq, clamped to i16.
+    asm.br(BranchCond::Eq, Reg::R7, Reg::R0, "ad_addq");
+    asm.alu(AluOp::Sub, Reg::R3, Reg::R3, Reg::R13);
+    asm.jmp("ad_clamp");
+    asm.label("ad_addq");
+    asm.alu(AluOp::Add, Reg::R3, Reg::R3, Reg::R13);
+    asm.label("ad_clamp");
+    asm.ldi(Reg::R9, 32767);
+    asm.br(BranchCond::Lt, Reg::R3, Reg::R9, "ad_clamp_lo");
+    asm.mov(Reg::R3, Reg::R9);
+    asm.label("ad_clamp_lo");
+    asm.ldi(Reg::R9, -32768);
+    asm.br(BranchCond::Ge, Reg::R3, Reg::R9, "ad_index_update");
+    asm.mov(Reg::R3, Reg::R9);
+    asm.label("ad_index_update");
+    // index += index_table[code], clamped to 0..=88.
+    asm.la(Reg::R9, "ad_index");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R10, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R9, Reg::R9, 0);
+    asm.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R9);
+    asm.br(BranchCond::Ge, Reg::R4, Reg::R0, "ad_index_hi");
+    asm.ldi(Reg::R4, 0);
+    asm.label("ad_index_hi");
+    asm.ldi(Reg::R9, 88);
+    asm.br(BranchCond::Lt, Reg::R4, Reg::R9, "ad_next");
+    asm.mov(Reg::R4, Reg::R9);
+    asm.label("ad_next");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "ad_loop");
+    // checksum += final predictor (sign-folded) + final index
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R3);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R4);
+    asm.ret();
+    "ad_main"
+}
+
+/// Rust reference model of the guest checksum.
+pub fn reference(n: i32) -> u64 {
+    let mut checksum: u64 = 0;
+    let mut predictor: i64 = 0;
+    let mut index: i64 = 0;
+    for sample in samples(n) {
+        let mut diff = sample - predictor;
+        let sign: i64 = if diff < 0 { 8 } else { 0 };
+        if diff < 0 {
+            diff = -diff;
+        }
+        let step = i64::from(STEP_TABLE[index as usize]);
+        let mut code: i64 = 0;
+        let mut remaining = diff;
+        if remaining >= step {
+            code |= 4;
+            remaining -= step;
+        }
+        if remaining >= step >> 1 {
+            code |= 2;
+            remaining -= step >> 1;
+        }
+        if remaining >= step >> 2 {
+            code |= 1;
+        }
+        checksum = checksum.wrapping_add((code | sign) as u64);
+        let mut diffq = step >> 3;
+        if code & 4 != 0 {
+            diffq += step;
+        }
+        if code & 2 != 0 {
+            diffq += step >> 1;
+        }
+        if code & 1 != 0 {
+            diffq += step >> 2;
+        }
+        predictor = if sign != 0 { predictor - diffq } else { predictor + diffq };
+        predictor = predictor.clamp(-32768, 32767);
+        index = (index + i64::from(INDEX_TABLE[code as usize])).clamp(0, 88);
+    }
+    checksum
+        .wrapping_add(predictor as u64)
+        .wrapping_add(index as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_never_escapes_table() {
+        // Implicit in reference(); run it for a large n to exercise clamps.
+        let _ = reference(2_000);
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Adpcm);
+        assert_eq!(got, reference(600));
+    }
+}

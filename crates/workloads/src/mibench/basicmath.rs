@@ -1,0 +1,100 @@
+//! `basicmath`: integer Newton square roots + Collatz step counting.
+//!
+//! Division-heavy with data-dependent branches, like the original's
+//! square-root and cubic-equation solving.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg};
+
+use super::{emit_xorshift, xorshift};
+
+/// Emits the routine; entry label `bm_main`, checksum in `r11`.
+pub fn emit(asm: &mut Asm, iters: i32) -> &'static str {
+    asm.label("bm_main");
+    asm.ldi(Reg::R1, 1); // i
+    asm.ldi(Reg::R2, iters); // limit
+    asm.ldi(Reg::R11, 0); // checksum
+    asm.ldi(Reg::R10, 0x5eed); // PRNG state
+    asm.label("bm_loop");
+    emit_xorshift(asm, Reg::R10, Reg::R9);
+    asm.alui(AluOp::And, Reg::R3, Reg::R10, 0xfffff);
+    asm.alui(AluOp::Or, Reg::R3, Reg::R3, 1); // x
+    // Newton isqrt: g = x; 12 times: g = (g + x/g) >> 1
+    asm.mov(Reg::R4, Reg::R3);
+    asm.ldi(Reg::R5, 0);
+    asm.label("bm_newton");
+    asm.alu(AluOp::Divu, Reg::R6, Reg::R3, Reg::R4);
+    asm.alu(AluOp::Add, Reg::R6, Reg::R6, Reg::R4);
+    asm.alui(AluOp::Shr, Reg::R4, Reg::R6, 1);
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.ldi(Reg::R6, 12);
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R6, "bm_newton");
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R4);
+    // Collatz on (x & 0x3ff) | 1 — very branchy.
+    asm.alui(AluOp::And, Reg::R7, Reg::R3, 0x3ff);
+    asm.alui(AluOp::Or, Reg::R7, Reg::R7, 1);
+    asm.label("bm_collatz");
+    asm.ldi(Reg::R6, 1);
+    asm.br(BranchCond::Eq, Reg::R7, Reg::R6, "bm_collatz_done");
+    asm.alui(AluOp::And, Reg::R8, Reg::R7, 1);
+    asm.br(BranchCond::Eq, Reg::R8, Reg::R0, "bm_even");
+    asm.alui(AluOp::Mul, Reg::R7, Reg::R7, 3);
+    asm.alui(AluOp::Add, Reg::R7, Reg::R7, 1);
+    asm.jmp("bm_collatz");
+    asm.label("bm_even");
+    asm.alui(AluOp::Shr, Reg::R7, Reg::R7, 1);
+    asm.alui(AluOp::Add, Reg::R11, Reg::R11, 1);
+    asm.jmp("bm_collatz");
+    asm.label("bm_collatz_done");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "bm_loop");
+    asm.ret();
+    "bm_main"
+}
+
+/// Rust reference model of the guest checksum.
+pub fn reference(iters: i32) -> u64 {
+    let mut checksum: u64 = 0;
+    let mut state: u64 = 0x5eed;
+    let mut i: u64 = 1;
+    loop {
+        state = xorshift(state);
+        let x = (state & 0xfffff) | 1;
+        let mut g = x;
+        for _ in 0..12 {
+            g = (g + x / g) >> 1;
+        }
+        checksum = checksum.wrapping_add(g);
+        let mut c = (x & 0x3ff) | 1;
+        while c != 1 {
+            if c & 1 == 0 {
+                c >>= 1;
+                checksum = checksum.wrapping_add(1);
+            } else {
+                c = 3 * c + 1;
+            }
+        }
+        i += 1;
+        if i >= iters as u64 {
+            break;
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic_and_scales() {
+        assert_eq!(reference(60), reference(60));
+        assert_ne!(reference(60), reference(180));
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::BasicMathSmall);
+        assert_eq!(got, reference(60));
+    }
+}

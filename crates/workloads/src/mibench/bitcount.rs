@@ -1,0 +1,69 @@
+//! `bitcount`: multi-method population counting over a PRNG stream,
+//! mirroring MiBench's bit-counting kernel collection.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg};
+
+use super::{emit_xorshift, xorshift};
+
+/// Emits the routine; entry label `bc_main`, checksum in `r11`.
+pub fn emit(asm: &mut Asm, ops: i32) -> &'static str {
+    asm.label("bc_main");
+    asm.ldi(Reg::R1, 0); // i
+    asm.ldi(Reg::R2, ops);
+    asm.ldi(Reg::R11, 0); // checksum
+    asm.ldi(Reg::R10, 0x1234_5678); // PRNG state
+    asm.label("bc_loop");
+    emit_xorshift(asm, Reg::R10, Reg::R9);
+    // Method 1: Kernighan — while (x) { x &= x - 1; n += 1 }
+    asm.mov(Reg::R3, Reg::R10);
+    asm.label("bc_kern");
+    asm.br(BranchCond::Eq, Reg::R3, Reg::R0, "bc_kern_done");
+    asm.alui(AluOp::Sub, Reg::R4, Reg::R3, 1);
+    asm.alu(AluOp::And, Reg::R3, Reg::R3, Reg::R4);
+    asm.alui(AluOp::Add, Reg::R11, Reg::R11, 1);
+    asm.jmp("bc_kern");
+    asm.label("bc_kern_done");
+    // Method 2: shift loop over the low 16 bits.
+    asm.mov(Reg::R3, Reg::R10);
+    asm.ldi(Reg::R5, 0);
+    asm.label("bc_shift");
+    asm.alui(AluOp::And, Reg::R4, Reg::R3, 1);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R4);
+    asm.alui(AluOp::Shr, Reg::R3, Reg::R3, 1);
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.ldi(Reg::R4, 16);
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R4, "bc_shift");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "bc_loop");
+    asm.ret();
+    "bc_main"
+}
+
+/// Rust reference model of the guest checksum.
+pub fn reference(ops: i32) -> u64 {
+    let mut checksum: u64 = 0;
+    let mut state: u64 = 0x1234_5678;
+    for _ in 0..ops {
+        state = xorshift(state);
+        checksum += u64::from(state.count_ones());
+        checksum += u64::from((state & 0xffff).count_ones());
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_scales_with_ops() {
+        assert!(reference(4_000) > reference(2_000));
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Bitcount50M);
+        assert_eq!(got, reference(2_000));
+    }
+}

@@ -1,0 +1,174 @@
+//! `dijkstra`: repeated single-source shortest paths over a dense random
+//! graph — O(N²) nested loops of loads, compares and updates.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Number of graph nodes.
+pub(crate) const N: i32 = 16;
+/// "Infinity" distance (fits comfortably in a 31-bit immediate).
+const INF: i32 = 0x3fff_ffff;
+
+/// Dense edge-weight matrix (bytes, 1..=64) shared by guest and model.
+pub(crate) fn weights() -> Vec<u8> {
+    let mut x: u32 = 0x6a09_e667;
+    (0..N * N)
+        .map(|_| {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            (1 + (x >> 16) % 64) as u8
+        })
+        .collect()
+}
+
+/// Emits the routine; entry label `dj_main`, checksum (sum of all final
+/// distances over all sources) in `r11`.
+pub fn emit(asm: &mut Asm, sources: i32) -> &'static str {
+    asm.data_label("dj_graph");
+    asm.db(&weights());
+    asm.data_label("dj_dist");
+    asm.space(N as u64 * 8);
+    asm.data_label("dj_vis");
+    asm.space(N as u64);
+
+    asm.label("dj_main");
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0); // source s
+    asm.label("dj_src");
+    // init: dist[i] = INF, vis[i] = 0
+    asm.ldi(Reg::R3, 0);
+    asm.label("dj_init");
+    asm.la(Reg::R9, "dj_dist");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ldi(Reg::R4, INF);
+    asm.st(Width::D, Reg::R9, Reg::R4, 0);
+    asm.la(Reg::R9, "dj_vis");
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R3);
+    asm.st(Width::B, Reg::R9, Reg::R0, 0);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R4, N);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R4, "dj_init");
+    // dist[s] = 0
+    asm.la(Reg::R9, "dj_dist");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.st(Width::D, Reg::R9, Reg::R0, 0);
+    // N extraction rounds
+    asm.ldi(Reg::R2, 0); // round
+    asm.label("dj_round");
+    // find unvisited minimum: u in r5, best in r6
+    asm.ldi(Reg::R5, N); // invalid
+    asm.ldi(Reg::R6, INF);
+    asm.alui(AluOp::Add, Reg::R6, Reg::R6, 1); // best = INF + 1
+    asm.ldi(Reg::R3, 0);
+    asm.label("dj_scan");
+    asm.la(Reg::R9, "dj_vis");
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R3);
+    asm.ld(Width::B, Reg::R4, Reg::R9, 0);
+    asm.br(BranchCond::Ne, Reg::R4, Reg::R0, "dj_scan_next");
+    asm.la(Reg::R9, "dj_dist");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R4, Reg::R9, 0);
+    asm.br(BranchCond::Geu, Reg::R4, Reg::R6, "dj_scan_next");
+    asm.mov(Reg::R6, Reg::R4);
+    asm.mov(Reg::R5, Reg::R3);
+    asm.label("dj_scan_next");
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R4, N);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R4, "dj_scan");
+    // vis[u] = 1
+    asm.la(Reg::R9, "dj_vis");
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R5);
+    asm.ldi(Reg::R4, 1);
+    asm.st(Width::B, Reg::R9, Reg::R4, 0);
+    // relax every v: alt = dist[u] + w[u][v]
+    asm.ldi(Reg::R3, 0); // v
+    asm.label("dj_relax");
+    asm.la(Reg::R9, "dj_graph");
+    asm.alui(AluOp::Mul, Reg::R10, Reg::R5, N);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R3);
+    asm.ld(Width::B, Reg::R7, Reg::R9, 0); // w[u][v]
+    asm.alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R6); // alt = best + w
+    asm.la(Reg::R9, "dj_dist");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R8, Reg::R9, 0); // dist[v]
+    asm.br(BranchCond::Geu, Reg::R7, Reg::R8, "dj_no_improve");
+    asm.st(Width::D, Reg::R9, Reg::R7, 0);
+    asm.label("dj_no_improve");
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R4, N);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R4, "dj_relax");
+    asm.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+    asm.ldi(Reg::R4, N);
+    asm.br(BranchCond::Ltu, Reg::R2, Reg::R4, "dj_round");
+    // checksum += sum(dist)
+    asm.ldi(Reg::R3, 0);
+    asm.label("dj_sum");
+    asm.la(Reg::R9, "dj_dist");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R4, Reg::R9, 0);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R4);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R4, N);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R4, "dj_sum");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.ldi(Reg::R4, sources);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R4, "dj_src");
+    asm.ret();
+    "dj_main"
+}
+
+/// Rust reference model.
+pub fn reference(sources: i32) -> u64 {
+    let w = weights();
+    let n = N as usize;
+    let mut checksum: u64 = 0;
+    for s in 0..sources as usize {
+        let mut dist = vec![INF as u64; n];
+        let mut vis = vec![false; n];
+        dist[s] = 0;
+        for _ in 0..n {
+            // Select the unvisited minimum; `u = n` means none (the guest
+            // would then relax row `n`, but a dense graph always has one).
+            let mut u = n;
+            let mut best = INF as u64 + 1;
+            for (i, &d) in dist.iter().enumerate() {
+                if !vis[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            vis[u] = true;
+            for v in 0..n {
+                let alt = best + u64::from(w[u * n + v]);
+                if alt < dist[v] {
+                    dist[v] = alt;
+                }
+            }
+        }
+        checksum += dist.iter().sum::<u64>();
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_finite_and_nontrivial() {
+        let c = reference(4);
+        assert!(c > 0);
+        assert!(c < 4 * (N as u64) * (INF as u64), "no node left unreachable");
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Dijkstra);
+        assert_eq!(got, reference(4));
+    }
+}

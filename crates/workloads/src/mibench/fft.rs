@@ -1,0 +1,111 @@
+//! `fft`: integer discrete Fourier transform with a precomputed cosine
+//! table — multiply-accumulate with strided table access.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Transform size.
+pub(crate) const N: i32 = 32;
+
+/// Input samples (signed, stored as two's-complement u64).
+pub(crate) fn samples() -> Vec<i64> {
+    let mut x: u32 = 0x243f_6a88;
+    (0..N)
+        .map(|_| {
+            x = x.wrapping_mul(69_069).wrapping_add(1);
+            i64::from(x >> 20) - 2048
+        })
+        .collect()
+}
+
+/// Fixed-point cosine table: `round(cos(2π m / N) * 1024)`.
+pub(crate) fn cos_table() -> Vec<i64> {
+    (0..N)
+        .map(|m| {
+            let angle = 2.0 * std::f64::consts::PI * f64::from(m) / f64::from(N);
+            (angle.cos() * 1024.0).round() as i64
+        })
+        .collect()
+}
+
+/// Emits the routine; entry label `fft_main`, checksum in `r11`.
+pub fn emit(asm: &mut Asm) -> &'static str {
+    asm.data_label("fft_x");
+    for s in samples() {
+        asm.dq(s as u64);
+    }
+    asm.data_label("fft_cos");
+    for c in cos_table() {
+        asm.dq(c as u64);
+    }
+
+    asm.label("fft_main");
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0); // k
+    asm.label("fft_k");
+    asm.ldi(Reg::R2, 0); // acc
+    asm.ldi(Reg::R3, 0); // n
+    asm.label("fft_n");
+    // m = (k * n) % N
+    asm.alu(AluOp::Mul, Reg::R9, Reg::R1, Reg::R3);
+    asm.alui(AluOp::Remu, Reg::R9, Reg::R9, N);
+    asm.la(Reg::R10, "fft_cos");
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R9, 3);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R9);
+    asm.ld(Width::D, Reg::R4, Reg::R10, 0); // cos[m]
+    asm.la(Reg::R10, "fft_x");
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R9);
+    asm.ld(Width::D, Reg::R5, Reg::R10, 0); // x[n]
+    asm.alu(AluOp::Mul, Reg::R4, Reg::R4, Reg::R5);
+    asm.alu(AluOp::Add, Reg::R2, Reg::R2, Reg::R4);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R9, N);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R9, "fft_n");
+    asm.alui(AluOp::Sar, Reg::R2, Reg::R2, 10); // >> 10 (arith)
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R2);
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.ldi(Reg::R9, N);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R9, "fft_k");
+    asm.ret();
+    "fft_main"
+}
+
+/// Rust reference model (wrapping two's-complement arithmetic, arithmetic
+/// shift, exactly as the guest computes).
+pub fn reference() -> u64 {
+    let x = samples();
+    let cos = cos_table();
+    let n = N as usize;
+    let mut checksum: u64 = 0;
+    for k in 0..n {
+        let mut acc: u64 = 0;
+        for (i, &xi) in x.iter().enumerate() {
+            let m = (k * i) % n;
+            let prod = (cos[m] as u64).wrapping_mul(xi as u64);
+            acc = acc.wrapping_add(prod);
+        }
+        let shifted = ((acc as i64) >> 10) as u64;
+        checksum = checksum.wrapping_add(shifted);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_table_has_expected_anchors() {
+        let t = cos_table();
+        assert_eq!(t[0], 1024);
+        assert_eq!(t[(N / 2) as usize], -1024);
+        assert_eq!(t[(N / 4) as usize], 0);
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Fft);
+        assert_eq!(got, reference());
+    }
+}

@@ -1,0 +1,185 @@
+//! `patricia`: bit-trie routing-table lookups — MiBench's network
+//! kernel. The trie is prebuilt at assembly time (as MiBench builds it
+//! from its input file before the timed lookups); the guest performs the
+//! lookups: pure data-dependent pointer chasing.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Bits per key (trie depth).
+pub(crate) const KEY_BITS: i32 = 16;
+
+/// Prebuilt trie node: `[left, right, value]`, indices into the node
+/// array (`0` = the root; leaves carry `value`, interior nodes 0).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    left: u32,
+    right: u32,
+    value: u32,
+}
+
+fn xorshift32(x: &mut u32) -> u32 {
+    *x ^= *x << 13;
+    *x ^= *x >> 17;
+    *x ^= *x << 5;
+    *x
+}
+
+/// The routing keys inserted into the trie.
+pub(crate) fn route_keys(n: i32) -> Vec<u16> {
+    let mut x: u32 = 0x9a71_1c1a;
+    (0..n).map(|_| (xorshift32(&mut x) >> 8) as u16).collect()
+}
+
+/// The lookup stream (mix of inserted and absent keys).
+pub(crate) fn lookup_keys(n: i32) -> Vec<u16> {
+    let routes = route_keys(128);
+    let mut x: u32 = 0x100c_a5e5;
+    (0..n)
+        .map(|i| {
+            if i % 3 == 0 {
+                routes[(xorshift32(&mut x) as usize) % routes.len()]
+            } else {
+                (xorshift32(&mut x) >> 12) as u16
+            }
+        })
+        .collect()
+}
+
+/// Builds the trie as a flat node array (shared by guest and model).
+fn build_trie() -> Vec<Node> {
+    let mut nodes = vec![Node { left: 0, right: 0, value: 0 }];
+    for key in route_keys(128) {
+        let mut at = 0usize;
+        for bit in (0..KEY_BITS).rev() {
+            let go_right = (key >> bit) & 1 == 1;
+            let next = if go_right { nodes[at].right } else { nodes[at].left };
+            let next = if next == 0 {
+                nodes.push(Node { left: 0, right: 0, value: 0 });
+                let idx = (nodes.len() - 1) as u32;
+                if go_right {
+                    nodes[at].right = idx;
+                } else {
+                    nodes[at].left = idx;
+                }
+                idx
+            } else {
+                next
+            };
+            at = next as usize;
+        }
+        nodes[at].value = u32::from(key) | 0x10000;
+    }
+    nodes
+}
+
+/// Emits the routine; entry label `pa_main`, checksum (sum of found
+/// values) in `r11`.
+pub fn emit(asm: &mut Asm, lookups: i32) -> &'static str {
+    let trie = build_trie();
+    asm.data_label("pa_trie");
+    for node in &trie {
+        asm.dq(u64::from(node.left));
+        asm.dq(u64::from(node.right));
+        asm.dq(u64::from(node.value));
+    }
+    asm.data_label("pa_keys");
+    for key in lookup_keys(lookups) {
+        asm.dq(u64::from(key));
+    }
+
+    asm.label("pa_main");
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 0); // lookup index
+    asm.ldi(Reg::R2, lookups);
+    asm.label("pa_loop");
+    // r3 = key
+    asm.la(Reg::R9, "pa_keys");
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::D, Reg::R3, Reg::R9, 0);
+    // walk the trie: r4 = node index, r5 = bit position
+    asm.ldi(Reg::R4, 0);
+    asm.ldi(Reg::R5, KEY_BITS - 1);
+    asm.label("pa_walk");
+    // r6 = (key >> bit) & 1
+    asm.alu(AluOp::Shr, Reg::R6, Reg::R3, Reg::R5);
+    asm.alui(AluOp::And, Reg::R6, Reg::R6, 1);
+    // r7 = &trie[node]; child = r6 ? right : left
+    asm.la(Reg::R7, "pa_trie");
+    asm.alui(AluOp::Mul, Reg::R10, Reg::R4, 24);
+    asm.alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R10);
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R6, 3); // 0 or 8
+    asm.alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R10);
+    asm.ld(Width::D, Reg::R4, Reg::R7, 0); // next node index
+    asm.br(BranchCond::Eq, Reg::R4, Reg::R0, "pa_miss"); // dead end
+    asm.br(BranchCond::Eq, Reg::R5, Reg::R0, "pa_leaf");
+    asm.alui(AluOp::Sub, Reg::R5, Reg::R5, 1);
+    asm.jmp("pa_walk");
+    asm.label("pa_leaf");
+    // checksum += trie[node].value
+    asm.la(Reg::R7, "pa_trie");
+    asm.alui(AluOp::Mul, Reg::R10, Reg::R4, 24);
+    asm.alu(AluOp::Add, Reg::R7, Reg::R7, Reg::R10);
+    asm.ld(Width::D, Reg::R6, Reg::R7, 16);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R6);
+    asm.label("pa_miss");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "pa_loop");
+    asm.ret();
+    "pa_main"
+}
+
+/// Rust reference model.
+pub fn reference(lookups: i32) -> u64 {
+    let trie = build_trie();
+    let mut checksum: u64 = 0;
+    'keys: for key in lookup_keys(lookups) {
+        let mut at = 0usize;
+        for bit in (0..KEY_BITS).rev() {
+            let go_right = (key >> bit) & 1 == 1;
+            let next = if go_right { trie[at].right } else { trie[at].left };
+            if next == 0 {
+                continue 'keys;
+            }
+            at = next as usize;
+        }
+        checksum += u64::from(trie[at].value);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trie_finds_every_inserted_route() {
+        let trie = build_trie();
+        for key in route_keys(128) {
+            let mut at = 0usize;
+            for bit in (0..KEY_BITS).rev() {
+                let next = if (key >> bit) & 1 == 1 { trie[at].right } else { trie[at].left };
+                assert_ne!(next, 0, "route {key:#x} must be reachable");
+                at = next as usize;
+            }
+            assert_eq!(trie[at].value, u32::from(key) | 0x10000);
+        }
+    }
+
+    #[test]
+    fn some_lookups_hit_and_some_miss() {
+        // The reference sum is nonzero (hits exist) but smaller than if
+        // every lookup hit.
+        let hits = reference(300);
+        assert!(hits > 0);
+        let max_possible = 300u64 * (0xffff + 0x10000);
+        assert!(hits < max_possible);
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Patricia);
+        assert_eq!(got, reference(300));
+    }
+}

@@ -1,0 +1,149 @@
+//! `qsort`: iterative Lomuto quicksort over pseudorandom keys — branchy,
+//! pointer-heavy memory traffic like MiBench's qsort.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Deterministic keys shared by guest and model (u32 range, stored u64).
+pub(crate) fn input_keys(n: i32) -> Vec<u64> {
+    let mut x: u32 = 0x0051_e55e;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(0x7F4A_7C15);
+            u64::from(x)
+        })
+        .collect()
+}
+
+/// Emits the routine; entry label `qs_main`, checksum in `r11`:
+/// `A[0] + A[n/2] + A[n-1] + 1_000_000 × inversions` (inversions must be
+/// zero when the sort is correct).
+pub fn emit(asm: &mut Asm, n: i32) -> &'static str {
+    let keys = input_keys(n);
+    asm.data_label("qs_data");
+    for k in &keys {
+        asm.dq(*k);
+    }
+    asm.data_label("qs_stack");
+    asm.space(4 * n as u64 * 8 + 64);
+
+    asm.label("qs_main");
+    asm.la(Reg::R2, "qs_data");
+    asm.la(Reg::R12, "qs_stack");
+    // push (0, n-1)
+    asm.st(Width::D, Reg::R12, Reg::R0, 0);
+    asm.ldi(Reg::R9, n - 1);
+    asm.st(Width::D, Reg::R12, Reg::R9, 8);
+    asm.ldi(Reg::R1, 2); // stack depth in words
+
+    asm.label("qs_loop");
+    asm.br(BranchCond::Eq, Reg::R1, Reg::R0, "qs_done");
+    // pop hi then lo
+    asm.alui(AluOp::Sub, Reg::R1, Reg::R1, 1);
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R12);
+    asm.ld(Width::D, Reg::R4, Reg::R9, 0); // hi
+    asm.alui(AluOp::Sub, Reg::R1, Reg::R1, 1);
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R12);
+    asm.ld(Width::D, Reg::R3, Reg::R9, 0); // lo
+    // if lo >= hi (signed: hi may be lo-1 == -1) continue
+    asm.br(BranchCond::Ge, Reg::R3, Reg::R4, "qs_loop");
+    // pivot = A[hi]
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R4, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+    asm.ld(Width::D, Reg::R5, Reg::R9, 0);
+    asm.mov(Reg::R6, Reg::R3); // i = lo
+    asm.mov(Reg::R7, Reg::R3); // j = lo
+    asm.label("qs_part");
+    asm.br(BranchCond::Ge, Reg::R7, Reg::R4, "qs_part_done"); // j < hi
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R7, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+    asm.ld(Width::D, Reg::R8, Reg::R9, 0); // A[j]
+    asm.br(BranchCond::Ltu, Reg::R5, Reg::R8, "qs_noswap"); // A[j] > pivot?
+    // swap A[i], A[j]
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R6, 3);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R2);
+    asm.ld(Width::D, Reg::R13, Reg::R10, 0); // A[i]
+    asm.st(Width::D, Reg::R10, Reg::R8, 0); // A[i] = A[j]
+    asm.st(Width::D, Reg::R9, Reg::R13, 0); // A[j] = old A[i]
+    asm.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
+    asm.label("qs_noswap");
+    asm.alui(AluOp::Add, Reg::R7, Reg::R7, 1);
+    asm.jmp("qs_part");
+    asm.label("qs_part_done");
+    // swap A[i], A[hi]
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R6, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+    asm.ld(Width::D, Reg::R8, Reg::R9, 0); // A[i]
+    asm.alui(AluOp::Shl, Reg::R10, Reg::R4, 3);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R2);
+    asm.ld(Width::D, Reg::R13, Reg::R10, 0); // A[hi]
+    asm.st(Width::D, Reg::R9, Reg::R13, 0);
+    asm.st(Width::D, Reg::R10, Reg::R8, 0);
+    // push (lo, i-1)
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R12);
+    asm.st(Width::D, Reg::R9, Reg::R3, 0);
+    asm.alui(AluOp::Sub, Reg::R10, Reg::R6, 1);
+    asm.st(Width::D, Reg::R9, Reg::R10, 8);
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 2);
+    // push (i+1, hi)
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R1, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R12);
+    asm.alui(AluOp::Add, Reg::R10, Reg::R6, 1);
+    asm.st(Width::D, Reg::R9, Reg::R10, 0);
+    asm.st(Width::D, Reg::R9, Reg::R4, 8);
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 2);
+    asm.jmp("qs_loop");
+
+    asm.label("qs_done");
+    // checksum = A[0] + A[n/2] + A[n-1] + 1e6 * inversions
+    asm.ld(Width::D, Reg::R11, Reg::R2, 0);
+    asm.ld(Width::D, Reg::R9, Reg::R2, (n / 2) * 8);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R9);
+    asm.ld(Width::D, Reg::R9, Reg::R2, (n - 1) * 8);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R9);
+    asm.ldi(Reg::R3, 1); // j
+    asm.ldi(Reg::R4, n);
+    asm.label("qs_check");
+    asm.br(BranchCond::Geu, Reg::R3, Reg::R4, "qs_check_done");
+    asm.alui(AluOp::Shl, Reg::R9, Reg::R3, 3);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+    asm.ld(Width::D, Reg::R5, Reg::R9, -8); // A[j-1]
+    asm.ld(Width::D, Reg::R6, Reg::R9, 0); // A[j]
+    asm.br(BranchCond::Geu, Reg::R6, Reg::R5, "qs_ordered");
+    asm.ldi(Reg::R10, 1_000_000);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R10);
+    asm.label("qs_ordered");
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.jmp("qs_check");
+    asm.label("qs_check_done");
+    asm.ret();
+    "qs_main"
+}
+
+/// Rust reference model: sorted-array checksum with zero inversions.
+pub fn reference(n: i32) -> u64 {
+    let mut keys = input_keys(n);
+    keys.sort_unstable();
+    keys[0]
+        .wrapping_add(keys[n as usize / 2])
+        .wrapping_add(keys[n as usize - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic() {
+        assert_eq!(input_keys(8), input_keys(8));
+    }
+
+    #[test]
+    fn guest_sorts_correctly() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Qsort);
+        assert_eq!(got, reference(256), "nonzero inversion term means the sort failed");
+    }
+}

@@ -1,0 +1,240 @@
+//! `sha`: SHA-1 compression over pseudorandom input blocks.
+//!
+//! Faithful SHA-1 rounds (message-schedule expansion + 80 rotate/mix
+//! rounds per 64-byte block) with one deliberate simplification: message
+//! words are loaded **little-endian** (the guest ISA's native order)
+//! instead of SHA-1's big-endian convention. The Rust reference model uses
+//! the same convention, so checksums remain exact.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Maximum number of blocks of input data placed in the image.
+const MAX_BLOCKS: usize = 16;
+
+/// Deterministic pseudo-random input material shared by guest and model.
+pub(crate) fn input_data() -> Vec<u8> {
+    let mut x: u32 = 0x0bad_cafe;
+    let mut data = Vec::with_capacity(MAX_BLOCKS * 64);
+    for _ in 0..MAX_BLOCKS * 64 {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        data.push(x as u8);
+    }
+    data
+}
+
+const H_INIT: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const K: [u32; 4] = [0x5A82_7999, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6];
+
+/// Emits the routine; entry label `sha_main`, checksum in `r11`.
+///
+/// Register map: `r1` block, `r2` #blocks, `r3` t, `r4..r8` a..e,
+/// `r9`/`r10`/`r0` temporaries, `r12` 32-bit mask, `r13` addresses.
+pub fn emit(asm: &mut Asm, blocks: i32) -> &'static str {
+    assert!(blocks as usize <= MAX_BLOCKS, "at most {MAX_BLOCKS} blocks of input data");
+    asm.data_label("sha_w");
+    asm.space(80 * 4);
+    asm.data_label("sha_h");
+    for h in H_INIT {
+        asm.dq(u64::from(h));
+    }
+    asm.data_label("sha_data");
+    asm.db(&input_data());
+
+    // Helper: 32-bit rotate-left of `src` by `n` into `dst` using r9/r10.
+    fn rol(asm: &mut Asm, dst: Reg, src: Reg, n: i32) {
+        asm.alui(AluOp::Shl, Reg::R9, src, n);
+        asm.alui(AluOp::Shr, Reg::R10, src, 32 - n);
+        asm.alu(AluOp::Or, dst, Reg::R9, Reg::R10);
+        asm.alu(AluOp::And, dst, dst, Reg::R12);
+    }
+
+    asm.label("sha_main");
+    asm.ldi(Reg::R12, -1);
+    asm.alui(AluOp::Shr, Reg::R12, Reg::R12, 32); // mask32
+    asm.ldi(Reg::R1, 0);
+    asm.ldi(Reg::R2, blocks);
+
+    asm.label("sha_block");
+    // --- W[0..16] = LE words of the block ---------------------------
+    asm.ldi(Reg::R3, 0);
+    asm.label("sha_loadw");
+    asm.la(Reg::R13, "sha_data");
+    asm.alui(AluOp::Mul, Reg::R9, Reg::R1, 64);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.alui(AluOp::Mul, Reg::R9, Reg::R3, 4);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.ld(Width::W, Reg::R10, Reg::R13, 0);
+    asm.la(Reg::R13, "sha_w");
+    asm.alui(AluOp::Mul, Reg::R9, Reg::R3, 4);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.st(Width::W, Reg::R13, Reg::R10, 0);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R9, 16);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R9, "sha_loadw");
+
+    // --- expand W[16..80] -------------------------------------------
+    asm.label("sha_expand");
+    asm.la(Reg::R13, "sha_w");
+    asm.alui(AluOp::Mul, Reg::R9, Reg::R3, 4);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.ld(Width::W, Reg::R4, Reg::R13, -12); // W[t-3]
+    asm.ld(Width::W, Reg::R5, Reg::R13, -32); // W[t-8]
+    asm.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R5);
+    asm.ld(Width::W, Reg::R5, Reg::R13, -56); // W[t-14]
+    asm.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R5);
+    asm.ld(Width::W, Reg::R5, Reg::R13, -64); // W[t-16]
+    asm.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R5);
+    rol(asm, Reg::R4, Reg::R4, 1);
+    asm.st(Width::W, Reg::R13, Reg::R4, 0);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R9, 80);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R9, "sha_expand");
+
+    // --- a..e = h0..h4 ------------------------------------------------
+    asm.la(Reg::R13, "sha_h");
+    asm.ld(Width::D, Reg::R4, Reg::R13, 0);
+    asm.ld(Width::D, Reg::R5, Reg::R13, 8);
+    asm.ld(Width::D, Reg::R6, Reg::R13, 16);
+    asm.ld(Width::D, Reg::R7, Reg::R13, 24);
+    asm.ld(Width::D, Reg::R8, Reg::R13, 32);
+
+    // --- 80 rounds ------------------------------------------------------
+    asm.ldi(Reg::R3, 0);
+    asm.label("sha_round");
+    // f/k selection by t range into r9 (f) and r10 (k).
+    asm.ldi(Reg::R10, 20);
+    asm.br(BranchCond::Geu, Reg::R3, Reg::R10, "sha_f2");
+    // f = (b & c) | (~b & d)
+    asm.alu(AluOp::And, Reg::R9, Reg::R5, Reg::R6);
+    asm.alu(AluOp::Xor, Reg::R10, Reg::R5, Reg::R12); // ~b (32-bit)
+    asm.alu(AluOp::And, Reg::R10, Reg::R10, Reg::R7);
+    asm.alu(AluOp::Or, Reg::R9, Reg::R9, Reg::R10);
+    asm.ldi(Reg::R10, K[0] as i32);
+    asm.jmp("sha_fk_done");
+    asm.label("sha_f2");
+    asm.ldi(Reg::R10, 40);
+    asm.br(BranchCond::Geu, Reg::R3, Reg::R10, "sha_f3");
+    asm.alu(AluOp::Xor, Reg::R9, Reg::R5, Reg::R6); // b^c^d
+    asm.alu(AluOp::Xor, Reg::R9, Reg::R9, Reg::R7);
+    asm.ldi(Reg::R10, K[1] as i32);
+    asm.jmp("sha_fk_done");
+    asm.label("sha_f3");
+    asm.ldi(Reg::R10, 60);
+    asm.br(BranchCond::Geu, Reg::R3, Reg::R10, "sha_f4");
+    asm.alu(AluOp::And, Reg::R9, Reg::R5, Reg::R6); // (b&c)|(b&d)|(c&d)
+    asm.alu(AluOp::And, Reg::R10, Reg::R5, Reg::R7);
+    asm.alu(AluOp::Or, Reg::R9, Reg::R9, Reg::R10);
+    asm.alu(AluOp::And, Reg::R10, Reg::R6, Reg::R7);
+    asm.alu(AluOp::Or, Reg::R9, Reg::R9, Reg::R10);
+    asm.ldi(Reg::R10, K[2] as i32);
+    asm.jmp("sha_fk_done");
+    asm.label("sha_f4");
+    asm.alu(AluOp::Xor, Reg::R9, Reg::R5, Reg::R6);
+    asm.alu(AluOp::Xor, Reg::R9, Reg::R9, Reg::R7);
+    asm.ldi(Reg::R10, K[3] as i32);
+    asm.label("sha_fk_done");
+    asm.alu(AluOp::And, Reg::R10, Reg::R10, Reg::R12); // mask k
+    // temp = rol5(a) + f + e + k + W[t]  (r0 accumulates)
+    asm.alu(AluOp::Add, Reg::R0, Reg::R9, Reg::R10); // f + k (f in r9)
+    asm.alu(AluOp::Add, Reg::R0, Reg::R0, Reg::R8); // + e
+    rol(asm, Reg::R9, Reg::R4, 5); // rol5(a) — clobbers r9/r10
+    asm.alu(AluOp::Add, Reg::R0, Reg::R0, Reg::R9);
+    asm.la(Reg::R13, "sha_w");
+    asm.alui(AluOp::Mul, Reg::R9, Reg::R3, 4);
+    asm.alu(AluOp::Add, Reg::R13, Reg::R13, Reg::R9);
+    asm.ld(Width::W, Reg::R9, Reg::R13, 0); // W[t]
+    asm.alu(AluOp::Add, Reg::R0, Reg::R0, Reg::R9);
+    asm.alu(AluOp::And, Reg::R0, Reg::R0, Reg::R12);
+    // e=d; d=c; c=rol30(b); b=a; a=temp
+    asm.mov(Reg::R8, Reg::R7);
+    asm.mov(Reg::R7, Reg::R6);
+    rol(asm, Reg::R6, Reg::R5, 30);
+    asm.mov(Reg::R5, Reg::R4);
+    asm.mov(Reg::R4, Reg::R0);
+    asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+    asm.ldi(Reg::R9, 80);
+    asm.br(BranchCond::Ltu, Reg::R3, Reg::R9, "sha_round");
+
+    // --- h += a..e (masked) ---------------------------------------------
+    asm.la(Reg::R13, "sha_h");
+    for (i, reg) in [Reg::R4, Reg::R5, Reg::R6, Reg::R7, Reg::R8].into_iter().enumerate() {
+        asm.ld(Width::D, Reg::R9, Reg::R13, (i * 8) as i32);
+        asm.alu(AluOp::Add, Reg::R9, Reg::R9, reg);
+        asm.alu(AluOp::And, Reg::R9, Reg::R9, Reg::R12);
+        asm.st(Width::D, Reg::R13, Reg::R9, (i * 8) as i32);
+    }
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R2, "sha_block");
+
+    // checksum = h0 + h1 + h2 + h3 + h4
+    asm.ldi(Reg::R11, 0);
+    asm.la(Reg::R13, "sha_h");
+    for i in 0..5 {
+        asm.ld(Width::D, Reg::R9, Reg::R13, i * 8);
+        asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R9);
+    }
+    asm.ret();
+    "sha_main"
+}
+
+/// Rust reference model (same LE-word convention as the guest).
+pub fn reference(blocks: i32) -> u64 {
+    let data = input_data();
+    let mut h = H_INIT.map(u64::from);
+    for blk in 0..blocks as usize {
+        let mut w = [0u32; 80];
+        for (t, wt) in w.iter_mut().take(16).enumerate() {
+            let o = blk * 64 + t * 4;
+            *wt = u32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes"));
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) =
+            (h[0] as u32, h[1] as u32, h[2] as u32, h[3] as u32, h[4] as u32);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | (!b & d), K[0]),
+                20..=39 => (b ^ c ^ d, K[1]),
+                40..=59 => ((b & c) | (b & d) | (c & d), K[2]),
+                _ => (b ^ c ^ d, K[3]),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = u64::from((h[0] as u32).wrapping_add(a));
+        h[1] = u64::from((h[1] as u32).wrapping_add(b));
+        h[2] = u64::from((h[2] as u32).wrapping_add(c));
+        h[3] = u64::from((h[3] as u32).wrapping_add(d));
+        h[4] = u64::from((h[4] as u32).wrapping_add(e));
+    }
+    h.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_depends_on_block_count() {
+        assert_ne!(reference(6), reference(12));
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Sha1);
+        assert_eq!(got, reference(6));
+    }
+}

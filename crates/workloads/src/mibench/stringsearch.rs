@@ -1,0 +1,109 @@
+//! `stringsearch`: naive substring search of several needles over a text
+//! corpus — data-dependent branching on byte comparisons.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+const NEEDLES: [&str; 4] = ["the", "spectre", "branch", "qqz"];
+
+/// The search corpus shared by guest and model.
+pub(crate) fn corpus() -> String {
+    let phrases = [
+        "the speculative processor mistrains the branch predictor ",
+        "a spectre haunts the cache hierarchy and the counters ",
+        "benign applications share the pipeline with the attacker ",
+        "the branch history drives the transient window forward ",
+    ];
+    let mut text = String::new();
+    for i in 0..12 {
+        text.push_str(phrases[i % phrases.len()]);
+    }
+    text
+}
+
+/// Emits the routine; entry label `ss_main`, checksum (total match count
+/// across all needles) in `r11`.
+pub fn emit(asm: &mut Asm) -> &'static str {
+    let text = corpus();
+    asm.data_label("ss_text");
+    asm.asciz(&text);
+    for (k, needle) in NEEDLES.iter().enumerate() {
+        asm.data_label(format!("ss_needle_{k}"));
+        asm.asciz(needle);
+    }
+
+    asm.label("ss_main");
+    asm.ldi(Reg::R11, 0);
+    for (k, needle) in NEEDLES.iter().enumerate() {
+        let nlen = needle.len() as i32;
+        let last = text.len() as i32 - nlen; // last valid start index
+        let outer = format!("ss_outer_{k}");
+        let inner = format!("ss_inner_{k}");
+        let matched = format!("ss_match_{k}");
+        let advance = format!("ss_next_{k}");
+        let done = format!("ss_done_{k}");
+        asm.la(Reg::R1, "ss_text");
+        asm.ldi(Reg::R2, last);
+        asm.ldi(Reg::R3, 0); // i
+        asm.label(outer.clone());
+        asm.br(BranchCond::Lt, Reg::R2, Reg::R3, done.clone()); // i > last?
+        asm.ldi(Reg::R4, 0); // j
+        asm.label(inner.clone());
+        asm.ldi(Reg::R9, nlen);
+        asm.br(BranchCond::Geu, Reg::R4, Reg::R9, matched.clone());
+        asm.alu(AluOp::Add, Reg::R9, Reg::R1, Reg::R3);
+        asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R4);
+        asm.ld(Width::B, Reg::R5, Reg::R9, 0); // text[i+j]
+        asm.la(Reg::R10, format!("ss_needle_{k}"));
+        asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R4);
+        asm.ld(Width::B, Reg::R6, Reg::R10, 0); // needle[j]
+        asm.br(BranchCond::Ne, Reg::R5, Reg::R6, advance.clone());
+        asm.alui(AluOp::Add, Reg::R4, Reg::R4, 1);
+        asm.jmp(inner);
+        asm.label(matched);
+        asm.alui(AluOp::Add, Reg::R11, Reg::R11, 1);
+        asm.label(advance);
+        asm.alui(AluOp::Add, Reg::R3, Reg::R3, 1);
+        asm.jmp(outer);
+        asm.label(done);
+    }
+    asm.ret();
+    "ss_main"
+}
+
+/// Rust reference model: total naive-match count.
+pub fn reference() -> u64 {
+    let text = corpus();
+    let bytes = text.as_bytes();
+    let mut count = 0u64;
+    for needle in NEEDLES {
+        let n = needle.as_bytes();
+        if n.len() > bytes.len() {
+            continue;
+        }
+        for i in 0..=(bytes.len() - n.len()) {
+            if &bytes[i..i + n.len()] == n {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_finds_the_but_not_qqz() {
+        // "the" occurs many times; "qqz" never.
+        assert!(reference() > 10);
+        assert!(!corpus().contains("qqz"));
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::StringSearch);
+        assert_eq!(got, reference());
+    }
+}

@@ -1,0 +1,134 @@
+//! `susan`: image smoothing — MiBench's automotive vision kernel. A
+//! brightness-thresholded 3×3 box filter over a synthetic image: 2-D
+//! strided loads with a data-dependent accept/reject branch per
+//! neighbour, exactly SUSAN's USAN-area character.
+
+use cr_spectre_asm::builder::Asm;
+use cr_spectre_sim::isa::{AluOp, BranchCond, Reg, Width};
+
+/// Image width/height in pixels (one byte per pixel).
+pub(crate) const DIM: i32 = 48;
+/// Brightness-difference threshold for a neighbour to count.
+const THRESHOLD: i64 = 27;
+
+/// The synthetic input image shared by guest and model.
+pub(crate) fn image() -> Vec<u8> {
+    let mut x: u32 = 0x5a5a_0901;
+    (0..DIM * DIM)
+        .map(|i| {
+            x = x.wrapping_mul(22695477).wrapping_add(1);
+            // Gradient + blocks + noise: realistic edges for the filter.
+            let gx = (i % DIM) * 2;
+            let block = if (i / DIM / 8 + i % DIM / 8) % 2 == 0 { 60 } else { 0 };
+            ((gx + block) as u32 + (x >> 27)) as u8
+        })
+        .collect()
+}
+
+/// Emits the routine; entry label `su_main`, checksum (sum of smoothed
+/// interior pixels) in `r11`.
+///
+/// Register map: `r1` y, `r2` x, `r3` center, `r4` sum, `r5` count,
+/// `r6` dy, `r7` dx, `r8`–`r10` scratch.
+pub fn emit(asm: &mut Asm) -> &'static str {
+    asm.data_label("su_img");
+    asm.db(&image());
+
+    asm.label("su_main");
+    asm.ldi(Reg::R11, 0);
+    asm.ldi(Reg::R1, 1);
+    asm.label("su_y");
+    asm.ldi(Reg::R2, 1);
+    asm.label("su_x");
+    // r3 = center brightness
+    asm.la(Reg::R9, "su_img");
+    asm.alui(AluOp::Mul, Reg::R10, Reg::R1, DIM);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R2);
+    asm.ld(Width::B, Reg::R3, Reg::R9, 0);
+    asm.ldi(Reg::R4, 0); // sum
+    asm.ldi(Reg::R5, 0); // count
+    asm.ldi(Reg::R6, -1); // dy
+    asm.label("su_dy");
+    asm.ldi(Reg::R7, -1); // dx
+    asm.label("su_dx");
+    // p = img[(y+dy)*DIM + (x+dx)]
+    asm.alu(AluOp::Add, Reg::R10, Reg::R1, Reg::R6);
+    asm.alui(AluOp::Mul, Reg::R10, Reg::R10, DIM);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R2);
+    asm.alu(AluOp::Add, Reg::R10, Reg::R10, Reg::R7);
+    asm.la(Reg::R9, "su_img");
+    asm.alu(AluOp::Add, Reg::R9, Reg::R9, Reg::R10);
+    asm.ld(Width::B, Reg::R8, Reg::R9, 0);
+    // diff = |p - center|
+    asm.alu(AluOp::Sub, Reg::R9, Reg::R8, Reg::R3);
+    asm.br(BranchCond::Ge, Reg::R9, Reg::R0, "su_abs_done");
+    asm.alu(AluOp::Sub, Reg::R9, Reg::R0, Reg::R9);
+    asm.label("su_abs_done");
+    asm.ldi(Reg::R10, THRESHOLD as i32);
+    asm.br(BranchCond::Lt, Reg::R10, Reg::R9, "su_reject"); // diff > T
+    asm.alu(AluOp::Add, Reg::R4, Reg::R4, Reg::R8);
+    asm.alui(AluOp::Add, Reg::R5, Reg::R5, 1);
+    asm.label("su_reject");
+    asm.alui(AluOp::Add, Reg::R7, Reg::R7, 1);
+    asm.ldi(Reg::R10, 2);
+    asm.br(BranchCond::Lt, Reg::R7, Reg::R10, "su_dx");
+    asm.alui(AluOp::Add, Reg::R6, Reg::R6, 1);
+    asm.br(BranchCond::Lt, Reg::R6, Reg::R10, "su_dy");
+    // checksum += sum / count (count ≥ 1: the center always qualifies)
+    asm.alu(AluOp::Divu, Reg::R9, Reg::R4, Reg::R5);
+    asm.alu(AluOp::Add, Reg::R11, Reg::R11, Reg::R9);
+    asm.alui(AluOp::Add, Reg::R2, Reg::R2, 1);
+    asm.ldi(Reg::R10, DIM - 1);
+    asm.br(BranchCond::Ltu, Reg::R2, Reg::R10, "su_x");
+    asm.alui(AluOp::Add, Reg::R1, Reg::R1, 1);
+    asm.br(BranchCond::Ltu, Reg::R1, Reg::R10, "su_y");
+    asm.ret();
+    "su_main"
+}
+
+/// Rust reference model.
+pub fn reference() -> u64 {
+    let img = image();
+    let dim = DIM as usize;
+    let mut checksum: u64 = 0;
+    for y in 1..dim - 1 {
+        for x in 1..dim - 1 {
+            let center = i64::from(img[y * dim + x]);
+            let mut sum: i64 = 0;
+            let mut count: i64 = 0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let p = i64::from(
+                        img[(y as i64 + dy) as usize * dim + (x as i64 + dx) as usize],
+                    );
+                    let diff = (p - center).abs();
+                    if diff <= THRESHOLD {
+                        sum += p;
+                        count += 1;
+                    }
+                }
+            }
+            checksum = checksum.wrapping_add((sum / count) as u64);
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_has_edges() {
+        let img = image();
+        let distinct: std::collections::BTreeSet<u8> = img.iter().copied().collect();
+        assert!(distinct.len() > 40, "image must not be flat");
+    }
+
+    #[test]
+    fn guest_matches_reference() {
+        let got = crate::mibench::testutil::run_checksum(crate::mibench::Mibench::Susan);
+        assert_eq!(got, reference());
+    }
+}

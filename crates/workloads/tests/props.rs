@@ -1,0 +1,67 @@
+//! Property-based tests of the workload/host layer.
+
+use proptest::prelude::*;
+
+use cr_spectre_sim::config::MachineConfig;
+use cr_spectre_sim::cpu::Machine;
+use cr_spectre_sim::error::ExitReason;
+use cr_spectre_workloads::host::{vulnerable_host, HostOptions, SECRET};
+use cr_spectre_workloads::mibench::Mibench;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any argument that fits the buffer leaves the host unharmed and
+    /// the workload result correct.
+    #[test]
+    fn in_bounds_arguments_are_harmless(arg in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let host = vulnerable_host(Mibench::Crc32, HostOptions::default());
+        let mut machine = Machine::new(MachineConfig::default());
+        let loaded = machine.load(&host.image).unwrap();
+        machine.start_with_arg(loaded.entry, &arg);
+        let out = machine.run();
+        prop_assert!(out.exit.is_clean(), "{:?}", out.exit);
+        prop_assert_eq!(
+            machine.reg(cr_spectre_sim::isa::Reg::R11),
+            Mibench::Crc32.expected_checksum()
+        );
+    }
+
+    /// Any overflow past the return slot with garbage hijacks control to
+    /// a junk address, which never executes cleanly — and with a canary
+    /// it is always caught as Abort instead.
+    #[test]
+    fn garbage_overflow_crashes_plain_and_aborts_canary(extra in 1usize..64, fill in 1u8..255) {
+        for canary in [false, true] {
+            let host = vulnerable_host(
+                Mibench::Bitcount50M,
+                HostOptions { canary, ..HostOptions::default() },
+            );
+            let mut machine = Machine::new(MachineConfig::default());
+            let loaded = machine.load(&host.image).unwrap();
+            let payload = vec![fill; host.offset_to_ret() + extra.max(8)];
+            machine.start_with_arg(loaded.entry, &payload);
+            let out = machine.run();
+            prop_assert!(!out.exit.is_clean(), "overflow must not be clean");
+            if canary {
+                prop_assert_eq!(
+                    out.exit,
+                    ExitReason::Fault(cr_spectre_sim::error::Fault::Abort),
+                    "the canary must catch it first"
+                );
+            }
+        }
+    }
+
+    /// The secret is present and identical in every host image.
+    #[test]
+    fn secret_is_invariant_across_hosts(idx in 0usize..14) {
+        let host = vulnerable_host(Mibench::ALL[idx], HostOptions::default());
+        let mut machine = Machine::new(MachineConfig::default());
+        let loaded = machine.load(&host.image).unwrap();
+        let addr = loaded.addr("secret");
+        let mut buf = vec![0u8; SECRET.len()];
+        machine.mem().read(addr, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..], SECRET);
+    }
+}

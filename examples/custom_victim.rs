@@ -1,0 +1,98 @@
+//! Bring-your-own victim: write a vulnerable host in **text assembly**,
+//! assemble it, inspect it with the disassembler, and run the whole ROP +
+//! Spectre pipeline against it — the attack is "not bound to host
+//! application" (§II-C).
+//!
+//! ```sh
+//! cargo run --release --example custom_victim
+//! ```
+
+use cr_spectre::asm::parser::parse;
+use cr_spectre::asm::runtime::add_runtime;
+use cr_spectre::rop::exploit::probe_ret_offset;
+use cr_spectre::rop::{Chain, PayloadBuilder, Scanner};
+use cr_spectre::sim::config::MachineConfig;
+use cr_spectre::sim::cpu::Machine;
+use cr_spectre::sim::disasm::context_around;
+use cr_spectre::sim::isa::Reg;
+use cr_spectre::spectre::{build_spectre_image, SpectreConfig};
+use cr_spectre::workloads::host::SECRET;
+
+/// A little log-processing daemon with a classic Algorithm-1 flaw: it
+/// copies its argument into a fixed "line buffer" with the caller-provided
+/// length, then tallies bytes.
+const VICTIM_SOURCE: &str = r#"
+main:
+    call parse_request          ; exploited_function(argv[1])
+resume_point:
+    ldi  r1, 0                  ; victim code line 2...: tally the buffer
+    ldi  r2, 0
+tally:
+    la   r4, linebuf
+    add  r4, r4, r1
+    ldb  r5, [r4]
+    add  r2, r2, r5
+    addi r1, r1, 1
+    ldi  r6, 64
+    bltu r1, r6, tally
+    mov  r11, r2                ; result register
+    halt
+
+parse_request:
+    subi sp, sp, 72             ; char buffer[72];
+    mov  r3, r2                 ; memcpy(buffer, arg, arg_len) -- no check
+    mov  r2, r1
+    mov  r1, sp
+    call memcpy
+    addi sp, sp, 72
+    ret
+
+.data
+linebuf: .space 64
+secret:  .asciz "The Magic Words are Squeamish Ossifrage."
+"#;
+
+fn main() {
+    println!("== custom text-assembly victim, attacked end to end ==\n");
+
+    // 1. Assemble the source and link the runtime (gadget supply).
+    let mut asm = parse(VICTIM_SOURCE).expect("victim assembles");
+    add_runtime(&mut asm);
+    let image = asm.build("logd").expect("links");
+    println!("[1] assembled `{}`: {} bytes of text", image.name, image.segments[0].bytes.len());
+
+    let mut machine = Machine::new(MachineConfig::default());
+    let loaded = machine.load(&image).expect("loads");
+
+    // 2. Disassemble the vulnerable function for the reader.
+    println!("\n[2] the flaw, disassembled:");
+    print!("{}", context_around(&machine, &loaded, loaded.addr("parse_request"), 3));
+
+    // 3. Probe the frame, scan gadgets, build the payload.
+    let offset = probe_ret_offset(&machine, loaded.entry, 256).expect("vulnerable");
+    println!("[3] return address sits {offset} bytes into the buffer (expected 72)");
+    let secret_addr = loaded.addr("secret");
+    machine.register_image(build_spectre_image(&SpectreConfig::new(
+        secret_addr,
+        SECRET.len() as u32,
+    )));
+    let gadgets = Scanner::default().scan_image(&machine, &loaded);
+    let buffer_addr = machine.initial_sp() - 8 - offset as u64;
+    let name_addr = buffer_addr + offset as u64 + 4 * 8;
+    let mut chain = Chain::new(&gadgets);
+    chain.set_reg(Reg::R1, name_addr).expect("pop r1");
+    chain.invoke(loaded.addr("sys_exec"));
+    chain.resume(loaded.addr("resume_point"));
+    let mut payload = PayloadBuilder::new(offset).build(chain.words());
+    payload.extend_from_slice(b"spectre\0");
+
+    // 4. Deliver; the daemon is hijacked, leaks, and resumes its tally.
+    machine.start_with_arg(loaded.entry, &payload);
+    let outcome = machine.run();
+    let recovered = machine.take_stdout();
+    println!("\n[4] run finished: {:?}", outcome.exit);
+    println!("    daemon tally (r11) = {} (the service still works)", machine.reg(Reg::R11));
+    println!("    stolen secret: {:?}", String::from_utf8_lossy(&recovered));
+    assert_eq!(recovered, SECRET);
+    assert!(outcome.exit.is_clean());
+}

@@ -1,0 +1,63 @@
+//! Algorithm 2 under the microscope: how perturbation parameters shape
+//! the HPC fingerprint of the very same Spectre attack.
+//!
+//! Sweeps loop counts, delays and camouflage shapes and prints the
+//! per-window feature profile each variant produces.
+//!
+//! ```sh
+//! cargo run --release --example perturbation_variants
+//! ```
+
+use cr_spectre::attack::{run_standalone_spectre, AttackConfig};
+use cr_spectre::perturb::{Camouflage, PerturbParams};
+use cr_spectre::sim::pmu::HpcEvent;
+use cr_spectre::workloads::mibench::Mibench;
+
+fn profile_of(perturb: Option<PerturbParams>) -> (f64, f64, f64, f64, usize) {
+    let mut config = AttackConfig::new(Mibench::Bitcount50M);
+    config.perturb = perturb;
+    let outcome = run_standalone_spectre(&config);
+    let n = outcome.trace.len().max(1) as f64;
+    let mean = |e: HpcEvent| {
+        outcome.trace.samples.iter().map(|s| s.count(e) as f64).sum::<f64>() / n
+    };
+    assert!(outcome.leak_accuracy() > 0.99, "perturbation must not break the leak");
+    (
+        mean(HpcEvent::TotalCacheMiss),
+        mean(HpcEvent::BranchMispredicts),
+        mean(HpcEvent::TotalCacheAccess),
+        mean(HpcEvent::BranchInstrs),
+        outcome.trace.len(),
+    )
+}
+
+fn main() {
+    println!("== Algorithm-2 variants: per-window HPC fingerprints ==\n");
+    println!(
+        "{:<34}{:>10}{:>10}{:>10}{:>10}{:>9}",
+        "variant", "miss/win", "misp/win", "acc/win", "br/win", "windows"
+    );
+
+    let show = |name: &str, p: Option<PerturbParams>| {
+        let (miss, misp, acc, br, windows) = profile_of(p);
+        println!("{name:<34}{miss:>10.2}{misp:>10.2}{acc:>10.1}{br:>10.1}{windows:>9}");
+    };
+
+    show("no perturbation (plain Spectre)", None);
+    show("Algorithm 2 defaults (a=11,b=6)", Some(PerturbParams::paper_default()));
+    show(
+        "loop_count 40",
+        Some(PerturbParams { loop_count: 40, ..PerturbParams::paper_default() }),
+    );
+    show("dispersal delay 2500", Some(PerturbParams::evasive_default()));
+    for camouflage in [Camouflage::Copy, Camouflage::Hash, Camouflage::Scan] {
+        show(
+            &format!("delay 2500 + camouflage {camouflage:?}"),
+            Some(PerturbParams { camouflage, ..PerturbParams::evasive_default() }),
+        );
+    }
+
+    println!("\nEvery variant still leaks the secret perfectly; what changes is");
+    println!("the per-window counter profile the HID sees — the paper's 'each");
+    println!("generated variant producing a different HPC pattern'.");
+}

