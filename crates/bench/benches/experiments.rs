@@ -52,5 +52,30 @@ fn bench_table1(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig4, bench_fig5, bench_fig6, bench_table1);
+/// The headline of the parallel campaign engine: the same `fig5` smoke
+/// run at 1 worker vs as many as the host offers (at least 4, so the
+/// scaling path is exercised even on small machines). Results are
+/// bit-identical at both settings — the engine's determinism contract —
+/// so the ratio of the two means is pure wall-clock speedup.
+fn bench_fig5_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_thread_scaling");
+    group.sample_size(10);
+    let parallel = cr_spectre_core::parallel::default_threads().max(4);
+    for threads in [1, parallel] {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            let cfg = CampaignConfig { threads, ..smoke() };
+            b.iter(|| black_box(fig5(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5,
+    bench_fig5_thread_scaling,
+    bench_fig6,
+    bench_table1
+);
 criterion_main!(benches);

@@ -75,11 +75,14 @@ fn main() {
     }
 
     // Train one MLP HID for the detection-side ablations.
-    let cfg = CampaignConfig { samples_per_class: 250, ..CampaignConfig::default() };
+    let mut cfg = CampaignConfig { samples_per_class: 250, ..CampaignConfig::default() };
+    if let Some(threads) = cr_spectre_bench::threads_arg() {
+        cfg.threads = threads;
+    }
     let features = FeatureSet::paper_default();
     let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
     let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
-    noise.apply(&mut training.x, 7);
+    noise.apply(&mut training.x, cfg.seed, 7);
     let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
 
     println!("\n== Ablation 5: perturbation dispersal delay vs detection rate ==");
@@ -95,7 +98,7 @@ fn main() {
         config.secret_len = 16;
         let outcome = run_standalone_spectre(&config);
         let mut rows = outcome.attack_rows(&features);
-        noise.apply(&mut rows, 11 + delay as u64);
+        noise.apply(&mut rows, cfg.seed, 11 + delay as u64);
         println!(
             "  delay {delay:>5}: detection {:>5.1}%  (leak {:>5.1}%)",
             hid.detection_rate(&rows) * 100.0,
@@ -115,7 +118,7 @@ fn main() {
         let perturbed = run_standalone_spectre(&config);
         let mut train = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
         let noise2 = NoiseModel::fit(&train.x, cfg.noise_strength);
-        noise2.apply(&mut train.x, 19);
+        noise2.apply(&mut train.x, cfg.seed, 19);
         let norm = Normalizer::fit(&train.x);
         let mut x = train.x.clone();
         norm.apply_all(&mut x);
@@ -125,7 +128,7 @@ fn main() {
             model.fit(&x, &train.y);
             let rate = |outcome: &cr_spectre_core::attack::AttackOutcome, tag: u64| {
                 let mut rows = outcome.attack_rows(&features);
-                noise2.apply(&mut rows, tag);
+                noise2.apply(&mut rows, cfg.seed, tag);
                 norm.apply_all(&mut rows);
                 let hits = rows.iter().filter(|r| model.predict(r) == 1).count();
                 hits as f64 / rows.len().max(1) as f64
@@ -148,10 +151,10 @@ fn main() {
         let fs = FeatureSet::paper(size);
         let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &fs);
         let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
-        noise.apply(&mut training.x, 13);
+        noise.apply(&mut training.x, cfg.seed, 13);
         let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
         let mut rows = outcome.attack_rows(&fs);
-        noise.apply(&mut rows, 17 + size as u64);
+        noise.apply(&mut rows, cfg.seed, 17 + size as u64);
         println!(
             "  features {size:>2}: detection of perturbed CR-Spectre {:>5.1}%",
             hid.detection_rate(&rows) * 100.0
@@ -174,14 +177,14 @@ fn main() {
     {
         let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
         let noise9 = NoiseModel::fit(&training.x, cfg.noise_strength);
-        noise9.apply(&mut training.x, 31);
+        noise9.apply(&mut training.x, cfg.seed, 31);
         let mut hid = Hid::train(HidKind::Mlp, HidMode::Online, training);
         // Fresh benign evaluation set (held out).
         let mut benign_eval = Dataset::new();
         for trace in benign_traces(&cfg, &[Mibench::Crc32, Mibench::Fft]) {
             benign_eval.push_trace(&trace, Label::Benign, &features);
         }
-        noise9.apply(&mut benign_eval.x, 37);
+        noise9.apply(&mut benign_eval.x, cfg.seed, 37);
         let before = Confusion::measure(&hid, &benign_eval.x, &benign_eval.y);
         // Chase three evasive variants, self-labelling as a real deployment
         // would.
@@ -191,7 +194,7 @@ fn main() {
             config.secret_len = 16;
             let outcome = cr_spectre_core::attack::run_cr_spectre(&config).expect("launches");
             let mut rows = outcome.attack_rows(&features);
-            noise9.apply(&mut rows, 41 + attempt);
+            noise9.apply(&mut rows, cfg.seed, 41 + attempt);
             hid.ingest_self_labeled(&rows);
             hid.retrain();
         }

@@ -1,12 +1,16 @@
 //! Regenerates **Figure 4**: HID accuracy for four benign hosts vs the
 //! original Spectre attack, across feature sizes 16/8/4/2/1.
 
+use cr_spectre_bench::threads_arg;
 use cr_spectre_core::campaign::{fig4, CampaignConfig};
 
 fn main() {
     let mut cfg = CampaignConfig::default();
     if std::env::args().any(|a| a == "--quick") {
         cfg = CampaignConfig::smoke();
+    }
+    if let Some(threads) = threads_arg() {
+        cfg.threads = threads;
     }
     println!("Figure 4: HID accuracy vs feature size (MLP, 70/30 split)");
     println!("{:<16}{:>8}{:>8}{:>8}{:>8}{:>8}", "series", "16", "8", "4", "2", "1");

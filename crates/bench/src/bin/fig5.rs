@@ -2,13 +2,16 @@
 //! Spectre (panel a) and CR-Spectre with a single static perturbation
 //! (panel b), over 10 attack attempts.
 
-use cr_spectre_bench::{evasion_headline, print_evasion};
+use cr_spectre_bench::{evasion_headline, print_evasion, threads_arg};
 use cr_spectre_core::campaign::{fig5, CampaignConfig};
 
 fn main() {
     let mut cfg = CampaignConfig::default();
     if std::env::args().any(|a| a == "--quick") {
         cfg = CampaignConfig::smoke();
+    }
+    if let Some(threads) = threads_arg() {
+        cfg.threads = threads;
     }
     let result = fig5(&cfg);
     print_evasion(&result, "Fig 5");

@@ -1,10 +1,14 @@
 //! Regenerates **Table I**: host IPC overhead under CR-Spectre with
 //! offline-type and online-type HIDs, per MiBench benchmark.
 
+use cr_spectre_bench::threads_arg;
 use cr_spectre_core::campaign::{table1, CampaignConfig};
 
 fn main() {
-    let cfg = CampaignConfig::default();
+    let mut cfg = CampaignConfig::default();
+    if let Some(threads) = threads_arg() {
+        cfg.threads = threads;
+    }
     let iterations = if std::env::args().any(|a| a == "--quick") { 1 } else { 5 };
     println!("Table I: performance overhead (IPC) in evaluated benchmarks");
     println!(

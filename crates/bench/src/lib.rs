@@ -17,6 +17,34 @@
 
 use cr_spectre_core::campaign::{DetectorSeries, EvasionResult};
 
+/// Parses `--threads N` from the process arguments.
+///
+/// Every experiment binary accepts it; `None` means "use the
+/// [`CampaignConfig`](cr_spectre_core::campaign::CampaignConfig)
+/// default", i.e. every available core. The campaign engine guarantees
+/// bit-identical output at every thread count, so the flag only changes
+/// wall-clock time.
+///
+/// # Panics
+///
+/// Panics (with a usage message) when the argument after `--threads` is
+/// missing, unparsable, or zero — these binaries have no other error
+/// channel.
+pub fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let raw = args.next().unwrap_or_else(|| panic!("--threads needs a value"));
+            let threads: usize = raw
+                .parse()
+                .unwrap_or_else(|_| panic!("bad --threads value {raw:?} (expected a count)"));
+            assert!(threads > 0, "--threads must be at least 1");
+            return Some(threads);
+        }
+    }
+    None
+}
+
 /// Formats an accuracy as the paper's percentage.
 pub fn pct(x: f64) -> String {
     format!("{:5.1}%", x * 100.0)

@@ -13,7 +13,11 @@
 //! * [`attack`] — one-call orchestration of the full Figure-1 chain
 //!   (host, gadget scan, payload, injection, profiling, secret recovery);
 //! * [`campaign`] — multi-attempt campaigns against offline/online HIDs
-//!   and the experiment drivers for the paper's Figures 4–6 and Table I.
+//!   and the experiment drivers for the paper's Figures 4–6 and Table I;
+//! * [`parallel`] — the deterministic parallel execution engine the
+//!   campaign drivers fan out on: order-preserving scoped-thread
+//!   `par_map` plus per-trial seed derivation, with results guaranteed
+//!   bit-identical at every thread count.
 //!
 //! # Example: the headline attack
 //!
@@ -33,10 +37,12 @@
 pub mod attack;
 pub mod campaign;
 pub mod covert;
+pub mod parallel;
 pub mod perturb;
 pub mod spectre;
 
 pub use attack::{run_cr_spectre, run_standalone_spectre, AttackConfig, AttackOutcome};
 pub use covert::CovertConfig;
+pub use parallel::{derive_seed, par_map, par_map_indices};
 pub use perturb::{PerturbParams, VariantGenerator};
 pub use spectre::{build_spectre_image, SpectreConfig, SpectreVariant};

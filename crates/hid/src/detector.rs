@@ -16,7 +16,10 @@ pub const EVADED_THRESHOLD: f64 = 0.55;
 pub const DETECTED_THRESHOLD: f64 = 0.80;
 
 /// A binary attack/benign classifier.
-pub trait Detector: std::fmt::Debug {
+///
+/// `Send + Sync` so trained detectors (and the [`Hid`] wrapping them)
+/// can be scored from the campaign engine's worker threads.
+pub trait Detector: std::fmt::Debug + Send + Sync {
     /// Model display name (paper legend).
     fn name(&self) -> &'static str;
 

@@ -23,7 +23,7 @@ fn main() {
     println!("== training the online MLP HID on benign apps vs standalone Spectre ==");
     let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
     let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
-    noise.apply(&mut training.x, 1);
+    noise.apply(&mut training.x, cfg.seed, 1);
     let mut hid = Hid::train(HidKind::Mlp, HidMode::Online, training);
     println!("corpus: {} windows, features: {:?}\n", hid.corpus_len(), features.events());
 
@@ -36,7 +36,7 @@ fn main() {
         let attack = AttackConfig::new(Mibench::Sha1).with_perturb(variant);
         let outcome = run_cr_spectre(&attack).expect("attack launches");
         let mut rows = outcome.attack_rows(&features);
-        noise.apply(&mut rows, 100 + attempt as u64);
+        noise.apply(&mut rows, cfg.seed, 100 + attempt as u64);
         let rate = hid.detection_rate(&rows);
         let verdict = if Hid::detected(rate) {
             "DETECTED — attacker mutates the perturbation"

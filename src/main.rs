@@ -8,6 +8,7 @@
 //! cr-spectre gadgets  [--host H] [--max-len N] [--limit N]
 //! cr-spectre disasm   [--host H] [--symbol S] [--context N]
 //! cr-spectre profile  [--app NAME] [--interval N] [--csv PATH]
+//! cr-spectre campaign [--artifact fig4|fig5|fig6|table1|all] [--threads N] [--quick]
 //! cr-spectre list
 //! ```
 
@@ -234,6 +235,81 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    use cr_spectre::campaign::{fig4, fig5, fig6, table1, CampaignConfig, EvasionResult};
+
+    let mut cfg =
+        if args.switch("quick") { CampaignConfig::smoke() } else { CampaignConfig::default() };
+    if args.switch("threads") {
+        return Err("--threads needs a value".to_string());
+    }
+    if let Some(raw) = args.value("threads") {
+        let threads: usize = raw.parse().map_err(|_| "bad --threads".to_string())?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        cfg.threads = threads;
+    }
+    let artifact = args.value("artifact").unwrap_or("all");
+    let wants = |name: &str| artifact == "all" || artifact == name;
+    if !["all", "fig4", "fig5", "fig6", "table1"].contains(&artifact) {
+        return Err(format!("unknown artifact {artifact:?} (fig4 | fig5 | fig6 | table1 | all)"));
+    }
+    println!("campaign on {} worker thread(s)\n", cfg.threads);
+
+    let headline = |result: &EvasionResult| {
+        let spectre_mean = result.spectre.iter().map(|s| s.mean()).sum::<f64>()
+            / result.spectre.len().max(1) as f64;
+        let cr_min = result
+            .cr_spectre
+            .iter()
+            .flat_map(|s| s.accuracy.iter().copied())
+            .fold(f64::INFINITY, f64::min);
+        (spectre_mean, if cr_min.is_finite() { cr_min } else { 0.0 })
+    };
+
+    if wants("fig4") {
+        let rows = fig4(&cfg);
+        let acc4: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.accuracies.iter().find(|(s, _)| *s == 4).map(|&(_, a)| a))
+            .collect();
+        let mean4 = acc4.iter().sum::<f64>() / acc4.len().max(1) as f64;
+        println!("fig4  : {} hosts, mean accuracy at 4 features {:.1}%", rows.len(), mean4 * 100.0);
+    }
+    if wants("fig5") {
+        let (spectre, cr) = headline(&fig5(&cfg));
+        println!(
+            "fig5  : offline HID — Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
+            spectre * 100.0,
+            cr * 100.0
+        );
+    }
+    if wants("fig6") {
+        let (spectre, cr) = headline(&fig6(&cfg));
+        println!(
+            "fig6  : online HID — Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
+            spectre * 100.0,
+            cr * 100.0
+        );
+    }
+    if wants("table1") {
+        let iterations = if args.switch("quick") { 1 } else { 5 };
+        let rows = table1(&cfg, iterations);
+        let n = rows.len().max(1) as f64;
+        let off = rows.iter().map(|r| r.overhead_offline()).sum::<f64>() / n;
+        let on = rows.iter().map(|r| r.overhead_online()).sum::<f64>() / n;
+        println!(
+            "table1: mean IPC overhead {:+.2}% offline, {:+.2}% online over {} hosts",
+            off * 100.0,
+            on * 100.0,
+            rows.len()
+        );
+    }
+    println!("\nfull paper-style tables: cargo run --release -p cr-spectre-bench --bin <artifact>");
+    Ok(())
+}
+
 fn cmd_list() {
     println!("MiBench-like hosts:");
     for w in Mibench::ALL {
@@ -258,6 +334,7 @@ commands:
   disasm    disassemble a host image (--symbol S for a window)
   profile   profile a workload and optionally export CSV (--csv PATH)
   trace     print the first --limit executed instructions of a host
+  campaign  run the evaluation drivers (Figures 4-6, Table I) in parallel
   list      list hosts and benign applications
 
 common options:
@@ -267,6 +344,12 @@ common options:
   --canary          compile the host with a stack canary
   --aslr SEED       enable ASLR
   --no-clflush / --evict-reload / --shadow-stack / --invisispec / --csf
+
+campaign options:
+  --artifact A      fig4 | fig5 | fig6 | table1 | all (default all)
+  --threads N       worker threads (default: all cores; results are
+                    bit-identical at every thread count)
+  --quick           smoke-scale configuration
 ";
 
 fn main() -> ExitCode {
@@ -290,6 +373,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args),
         "profile" => cmd_profile(&args),
         "trace" => cmd_trace(&args),
+        "campaign" => cmd_campaign(&args),
         "list" => {
             cmd_list();
             Ok(())

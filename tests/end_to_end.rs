@@ -2,7 +2,9 @@
 //! and the detector dynamics, exercised through the public façade.
 
 use cr_spectre::attack::{run_cr_spectre, run_standalone_spectre, AttackConfig};
-use cr_spectre::campaign::{build_training_data, CampaignConfig, NoiseModel};
+use cr_spectre::campaign::{
+    build_training_data, fig4, fig5, fig6, table1, CampaignConfig, EvasionResult, NoiseModel,
+};
 use cr_spectre::hid::detector::{Hid, HidKind, HidMode};
 use cr_spectre::hpc::features::FeatureSet;
 use cr_spectre::perturb::PerturbParams;
@@ -92,13 +94,13 @@ fn offline_hid_detects_spectre_but_not_perturbed_cr_spectre() {
     let features = FeatureSet::paper_default();
     let mut training = build_training_data(&cfg, &[Mibench::Sha1, Mibench::Qsort], &features);
     let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
-    noise.apply(&mut training.x, 3);
+    noise.apply(&mut training.x, cfg.seed, 3);
     let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
 
     // Plain standalone Spectre: detected.
     let plain = run_standalone_spectre(&AttackConfig::new(Mibench::Sha1));
     let mut rows = plain.attack_rows(&features);
-    noise.apply(&mut rows, 5);
+    noise.apply(&mut rows, cfg.seed, 5);
     let plain_rate = hid.detection_rate(&rows);
     assert!(Hid::detected(plain_rate), "plain Spectre rate {plain_rate}");
 
@@ -108,7 +110,7 @@ fn offline_hid_detects_spectre_but_not_perturbed_cr_spectre() {
     )
     .expect("launches");
     let mut rows = cr.attack_rows(&features);
-    noise.apply(&mut rows, 7);
+    noise.apply(&mut rows, cfg.seed, 7);
     let cr_rate = hid.detection_rate(&rows);
     assert!(
         Hid::evaded(cr_rate),
@@ -157,4 +159,82 @@ fn hardened_machine_defeats_cr_spectre() {
     let outcome = run_cr_spectre(&config).expect("launches");
     assert!(outcome.recovered.is_empty(), "no secret under §IV countermeasures");
     assert!(matches!(outcome.trace.outcome.exit, ExitReason::Fault(_)));
+}
+
+// ---------------------------------------------------------------------
+// Campaign drivers at smoke scale: tier-1 exercises every figure/table
+// generator end to end and pins their structural invariants.
+// ---------------------------------------------------------------------
+
+fn assert_series_grid(result: &EvasionResult, attempts: usize, what: &str) {
+    for (panel, series) in [("spectre", &result.spectre), ("cr_spectre", &result.cr_spectre)] {
+        assert_eq!(series.len(), HidKind::ALL.len(), "{what} {panel}: one series per detector");
+        for s in series {
+            assert_eq!(s.accuracy.len(), attempts, "{what} {panel} {}: attempts", s.kind.name());
+            for &acc in &s.accuracy {
+                assert!(
+                    (0.0..=1.0).contains(&acc),
+                    "{what} {panel} {}: accuracy {acc} outside [0, 1]",
+                    s.kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fig4_driver_covers_the_host_by_feature_size_grid() {
+    let rows = fig4(&CampaignConfig::smoke());
+    assert_eq!(rows.len(), Mibench::FIG4_HOSTS.len(), "one row per Figure-4 host");
+    for (row, &host) in rows.iter().zip(&Mibench::FIG4_HOSTS) {
+        assert_eq!(row.host, host, "rows follow the paper's host order");
+        let sizes: Vec<usize> = row.accuracies.iter().map(|&(s, _)| s).collect();
+        assert_eq!(sizes, vec![16, 8, 4, 2, 1], "{host}: feature-size sweep");
+        for &(size, acc) in &row.accuracies {
+            assert!((0.0..=1.0).contains(&acc), "{host} size {size}: accuracy {acc}");
+        }
+    }
+}
+
+#[test]
+fn fig5_driver_produces_full_series_for_every_detector() {
+    let cfg = CampaignConfig::smoke();
+    assert_series_grid(&fig5(&cfg), cfg.attempts, "fig5");
+}
+
+#[test]
+fn fig6_driver_produces_full_series_for_every_detector() {
+    let cfg = CampaignConfig::smoke();
+    assert_series_grid(&fig6(&cfg), cfg.attempts, "fig6");
+}
+
+#[test]
+fn table1_overheads_are_finite_and_ipcs_positive() {
+    let rows = table1(&CampaignConfig::smoke(), 1);
+    assert_eq!(rows.len(), Mibench::TABLE1_ROWS.len(), "one row per Table-I benchmark");
+    for (row, &host) in rows.iter().zip(&Mibench::TABLE1_ROWS) {
+        assert_eq!(row.host, host);
+        for (what, ipc) in [
+            ("original", row.ipc_original),
+            ("offline", row.ipc_offline),
+            ("online", row.ipc_online),
+        ] {
+            assert!(ipc.is_finite() && ipc > 0.0, "{host} {what}: IPC {ipc}");
+        }
+        assert!(row.overhead_offline().is_finite(), "{host}: offline overhead");
+        assert!(row.overhead_online().is_finite(), "{host}: online overhead");
+    }
+}
+
+#[test]
+fn campaign_results_do_not_depend_on_thread_count() {
+    // The engine's contract, checked here through the public façade (the
+    // full per-driver matrix lives in crates/core/tests/).
+    let serial = CampaignConfig { threads: 1, ..CampaignConfig::smoke() };
+    let parallel = CampaignConfig { threads: 4, ..CampaignConfig::smoke() };
+    assert_eq!(
+        format!("{:?}", table1(&serial, 1)),
+        format!("{:?}", table1(&parallel, 1)),
+        "table1 must be bit-identical at every thread count"
+    );
 }

@@ -1,0 +1,34 @@
+//! Fixed-size array strategies.
+
+use rand::rngs::StdRng;
+
+use crate::strategy::Strategy;
+
+/// The strategy behind the `uniformN` constructors.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+macro_rules! uniform_ctor {
+    ($($name:ident : $n:literal),+ $(,)?) => {$(
+        /// Generates an array whose elements are all drawn from the
+        /// given strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )+};
+}
+
+uniform_ctor!(
+    uniform1: 1, uniform2: 2, uniform3: 3, uniform4: 4,
+    uniform8: 8, uniform16: 16, uniform32: 32,
+);

@@ -1,0 +1,163 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the strategy/macro subset this workspace uses.
+//!
+//! The build environment has no network access, so property tests run on
+//! this vendored engine instead of crates.io proptest. Differences from
+//! upstream, by design:
+//!
+//! * **Deterministic cases.** Every test case's RNG is seeded from the
+//!   test's fully-qualified name and the case index, so failures
+//!   reproduce exactly on every run and machine (no persistence files,
+//!   no OS entropy).
+//! * **No shrinking.** A failing case reports the case index and the
+//!   assertion message; inputs are reproducible from the seed, so
+//!   shrinking is a convenience we forgo for zero dependencies.
+//! * **Default cases = 64** (upstream: 256), overridable per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+//!   with the `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The customary glob import, mirroring upstream's `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to
+/// a normal `#[test]` that samples its arguments `cases` times and runs
+/// the body on each sample. An optional leading
+/// `#![proptest_config(expr)]` sets the configuration for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_each {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: `{:?}` == `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type (upstream's weighted union, without weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

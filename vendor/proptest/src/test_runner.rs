@@ -1,0 +1,66 @@
+//! Case execution support: configuration, per-case RNG derivation and
+//! the failure type `prop_assert!` returns.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases the default configuration runs (upstream: 256; this
+/// engine trades cases for wall-clock since every case is reproducible).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-block property-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Derives the deterministic RNG for one case of one property: FNV-1a
+/// over the qualified test name, mixed with the case index. Stable
+/// across runs, processes and machines.
+pub fn case_rng(qualified_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in qualified_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A failed `prop_assert!` — the `Err` payload a property body returns.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion failure message.
+    pub fn fail(message: String) -> TestCaseError {
+        TestCaseError { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
