@@ -15,6 +15,7 @@
 //! cargo run --release -p cr-spectre-bench --bin ablations
 //! ```
 
+use cr_spectre_bench::BenchOpts;
 use cr_spectre_core::attack::{run_standalone_spectre, AttackConfig};
 use cr_spectre_core::campaign::{
     benign_traces, build_training_data, CampaignConfig, NoiseModel,
@@ -35,30 +36,32 @@ fn leak_with(f: impl FnOnce(&mut AttackConfig)) -> f64 {
 }
 
 fn main() {
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
     println!("== Ablation 1: speculation window depth vs leak accuracy ==");
-    println!("(the transient path needs ~7 instructions; shallow windows kill v1)");
+    opts.note("(the transient path needs ~7 instructions; shallow windows kill v1)");
     for window in [2u64, 4, 6, 8, 16, 32, 64] {
         let acc = leak_with(|c| c.machine.spec_window = window);
         println!("  spec_window {window:>3}: leak {:>5.1}%", acc * 100.0);
     }
 
     println!("\n== Ablation 2: DRAM latency vs leak accuracy ==");
-    println!("(the flushed bound's miss latency IS the transient budget)");
+    opts.note("(the flushed bound's miss latency IS the transient budget)");
     for mem_latency in [20u64, 60, 120, 200, 400] {
         let acc = leak_with(|c| c.machine.caches.mem_latency = mem_latency);
         println!("  mem_latency {mem_latency:>4}: leak {:>5.1}%", acc * 100.0);
     }
 
     println!("\n== Ablation 3: covert-channel stride vs leak accuracy ==");
-    println!("(strides below the 64-byte line alias neighbouring byte values)");
+    opts.note("(strides below the 64-byte line alias neighbouring byte values)");
     for stride in [16i32, 32, 64, 128, 512] {
         let acc = leak_with(|c| c.covert.stride = stride);
         println!("  stride {stride:>4}: leak {:>5.1}%", acc * 100.0);
     }
 
     println!("\n== Ablation 3b: same stride sweep with a next-line prefetcher ==");
-    println!("(prefetch fills corrupt adjacent probe slots — the historical reason");
-    println!(" the classic PoC uses a 512-byte stride)");
+    opts.note("(prefetch fills corrupt adjacent probe slots — the historical reason");
+    opts.note(" the classic PoC uses a 512-byte stride)");
     for stride in [64i32, 128, 256, 512] {
         let acc = leak_with(|c| {
             c.covert.stride = stride;
@@ -68,7 +71,7 @@ fn main() {
     }
 
     println!("\n== Ablation 4: reload threshold vs leak accuracy ==");
-    println!("(L1 hit ≈ 10 cycles, memory ≈ 230; thresholds outside break decode)");
+    opts.note("(L1 hit ≈ 10 cycles, memory ≈ 230; thresholds outside break decode)");
     for threshold in [5i32, 20, 100, 200, 2000] {
         let acc = leak_with(|c| c.covert.threshold = threshold);
         println!("  threshold {threshold:>5}: leak {:>5.1}%", acc * 100.0);
@@ -76,7 +79,7 @@ fn main() {
 
     // Train one MLP HID for the detection-side ablations.
     let mut cfg = CampaignConfig { samples_per_class: 250, ..CampaignConfig::default() };
-    if let Some(threads) = cr_spectre_bench::threads_arg() {
+    if let Some(threads) = opts.threads {
         cfg.threads = threads;
     }
     let features = FeatureSet::paper_default();
@@ -86,7 +89,7 @@ fn main() {
     let hid = Hid::train(HidKind::Mlp, HidMode::Offline, training);
 
     println!("\n== Ablation 5: perturbation dispersal delay vs detection rate ==");
-    println!("(Algorithm 2 with growing delay loops — §II-E's dispersal mechanism)");
+    opts.note("(Algorithm 2 with growing delay loops — §II-E's dispersal mechanism)");
     for delay in [0i32, 200, 800, 2_500, 6_000] {
         let mut config = AttackConfig::new(Mibench::Bitcount50M)
             .with_variant(SpectreVariant::V1)
@@ -107,7 +110,7 @@ fn main() {
     }
 
     println!("\n== Ablation 6: extra classifier families (beyond the paper's four) ==");
-    println!("(decision tree and k-NN on plain vs evasively perturbed Spectre)");
+    opts.note("(decision tree and k-NN on plain vs evasively perturbed Spectre)");
     {
         use cr_spectre_hid::{DecisionTree, Detector, Knn};
         use cr_spectre_hpc::features::Normalizer;
@@ -162,7 +165,7 @@ fn main() {
     }
 
     println!("\n== Ablation 8: offline Fisher ranking of all 56 events ==");
-    println!("(does the paper-ranked real-time prefix agree with a data-driven rank?)");
+    opts.note("(does the paper-ranked real-time prefix agree with a data-driven rank?)");
     {
         let all = FeatureSet::all();
         let training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &all);
@@ -173,7 +176,7 @@ fn main() {
     }
 
     println!("\n== Ablation 9: the online HID's hidden false-alarm cost ==");
-    println!("(after chasing perturbation variants, how noisy is the detector?)");
+    opts.note("(after chasing perturbation variants, how noisy is the detector?)");
     {
         let mut training = build_training_data(&cfg, &Mibench::FIG4_HOSTS, &features);
         let noise9 = NoiseModel::fit(&training.x, cfg.noise_strength);
@@ -205,4 +208,5 @@ fn main() {
             after.false_positive_rate() * 100.0
         );
     }
+    opts.finish();
 }

@@ -11,6 +11,7 @@
 //! cargo run --release -p cr-spectre-bench --bin defense_overhead
 //! ```
 
+use cr_spectre_bench::BenchOpts;
 use cr_spectre_core::attack::{run_standalone_spectre, AttackConfig};
 use cr_spectre_core::campaign::profile_standalone;
 use cr_spectre_sim::config::MachineConfig;
@@ -29,6 +30,8 @@ fn leak(machine: &MachineConfig) -> f64 {
 }
 
 fn main() {
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
     let baseline = MachineConfig::default();
     let invisispec = MachineConfig::invisispec();
     let csf = MachineConfig::csf();
@@ -68,6 +71,7 @@ fn main() {
     println!("  no defense : {:>5.1}%", leak(&baseline) * 100.0);
     println!("  InvisiSpec : {:>5.1}%", leak(&invisispec) * 100.0);
     println!("  CSF        : {:>5.1}%", leak(&csf) * 100.0);
-    println!("\nThe HID's appeal (and CR-Spectre's opening): zero slowdown on the");
-    println!("host, at the price of a detector an adaptive attacker can evade.");
+    opts.note("\nThe HID's appeal (and CR-Spectre's opening): zero slowdown on the");
+    opts.note("host, at the price of a detector an adaptive attacker can evade.");
+    opts.finish();
 }

@@ -1,17 +1,13 @@
 //! Regenerates **Figure 4**: HID accuracy for four benign hosts vs the
 //! original Spectre attack, across feature sizes 16/8/4/2/1.
 
-use cr_spectre_bench::threads_arg;
-use cr_spectre_core::campaign::{fig4, CampaignConfig};
+use cr_spectre_bench::BenchOpts;
+use cr_spectre_core::campaign::fig4;
 
 fn main() {
-    let mut cfg = CampaignConfig::default();
-    if std::env::args().any(|a| a == "--quick") {
-        cfg = CampaignConfig::smoke();
-    }
-    if let Some(threads) = threads_arg() {
-        cfg.threads = threads;
-    }
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
+    let cfg = opts.campaign_config();
     println!("Figure 4: HID accuracy vs feature size (MLP, 70/30 split)");
     println!("{:<16}{:>8}{:>8}{:>8}{:>8}{:>8}", "series", "16", "8", "4", "2", "1");
     let rows = fig4(&cfg);
@@ -29,8 +25,7 @@ fn main() {
         .map(|r| r.accuracies.iter().find(|(s, _)| *s == 4).expect("size 4").1)
         .collect();
     let mean4 = acc4.iter().sum::<f64>() / acc4.len() as f64;
-    println!(
-        "\npaper: >90% average at feature size 4; measured: {:.1}%",
-        mean4 * 100.0
-    );
+    opts.note("\npaper: >90% average at feature size 4");
+    println!("measured at feature size 4: {:.1}%", mean4 * 100.0);
+    opts.finish();
 }

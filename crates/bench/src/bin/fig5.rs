@@ -2,24 +2,23 @@
 //! Spectre (panel a) and CR-Spectre with a single static perturbation
 //! (panel b), over 10 attack attempts.
 
-use cr_spectre_bench::{evasion_headline, print_evasion, threads_arg};
-use cr_spectre_core::campaign::{fig5, CampaignConfig};
+use cr_spectre_bench::{evasion_headline, print_evasion, BenchOpts};
+use cr_spectre_core::campaign::fig5;
 
 fn main() {
-    let mut cfg = CampaignConfig::default();
-    if std::env::args().any(|a| a == "--quick") {
-        cfg = CampaignConfig::smoke();
-    }
-    if let Some(threads) = threads_arg() {
-        cfg.threads = threads;
-    }
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
+    let cfg = opts.campaign_config();
     let result = fig5(&cfg);
     print_evasion(&result, "Fig 5");
     let (avg, min) = evasion_headline(&result);
+    opts.note(
+        "\npaper: Spectre detected 86-96%, CR-Spectre degrades below 55%;",
+    );
     println!(
-        "\npaper: Spectre detected 86-96%, CR-Spectre degrades below 55%;\n\
-         measured: plain Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
+        "measured: plain Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
         avg * 100.0,
         min * 100.0
     );
+    opts.finish();
 }

@@ -2,25 +2,24 @@
 //! against plain Spectre (panel a) and dynamically perturbed CR-Spectre
 //! (panel b), over 10 attack attempts.
 
-use cr_spectre_bench::{evasion_headline, print_evasion, threads_arg};
-use cr_spectre_core::campaign::{fig6, CampaignConfig};
+use cr_spectre_bench::{evasion_headline, print_evasion, BenchOpts};
+use cr_spectre_core::campaign::fig6;
 
 fn main() {
-    let mut cfg = CampaignConfig::default();
-    if std::env::args().any(|a| a == "--quick") {
-        cfg = CampaignConfig::smoke();
-    }
-    if let Some(threads) = threads_arg() {
-        cfg.threads = threads;
-    }
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
+    let cfg = opts.campaign_config();
     let result = fig6(&cfg);
     print_evasion(&result, "Fig 6");
     let (avg, min) = evasion_headline(&result);
-    println!(
+    opts.note(
         "\npaper: online HID holds ~86-96% on Spectre; dynamic CR-Spectre\n\
-         degrades detection to <55%, lowest observed 16%;\n\
-         measured: plain Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
+         degrades detection to <55%, lowest observed 16%;",
+    );
+    println!(
+        "measured: plain Spectre mean {:.1}%, CR-Spectre minimum {:.1}%",
         avg * 100.0,
         min * 100.0
     );
+    opts.finish();
 }

@@ -1,15 +1,14 @@
 //! Regenerates **Table I**: host IPC overhead under CR-Spectre with
 //! offline-type and online-type HIDs, per MiBench benchmark.
 
-use cr_spectre_bench::threads_arg;
-use cr_spectre_core::campaign::{table1, CampaignConfig};
+use cr_spectre_bench::BenchOpts;
+use cr_spectre_core::campaign::table1;
 
 fn main() {
-    let mut cfg = CampaignConfig::default();
-    if let Some(threads) = threads_arg() {
-        cfg.threads = threads;
-    }
-    let iterations = if std::env::args().any(|a| a == "--quick") { 1 } else { 5 };
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
+    let cfg = opts.campaign_config();
+    let iterations = if opts.quick { 1 } else { 5 };
     println!("Table I: performance overhead (IPC) in evaluated benchmarks");
     println!(
         "{:<16}{:>12}{:>22}{:>22}",
@@ -32,10 +31,11 @@ fn main() {
         on_sum += row.overhead_online();
     }
     let n = rows.len() as f64;
+    opts.note("\npaper: average overhead 0.6% (offline) / 1.1% (online)");
     println!(
-        "\npaper: average overhead 0.6% (offline) / 1.1% (online);\n\
-         measured: {:+.2}% (offline) / {:+.2}% (online)",
+        "measured: {:+.2}% (offline) / {:+.2}% (online)",
         off_sum / n * 100.0,
         on_sum / n * 100.0
     );
+    opts.finish();
 }

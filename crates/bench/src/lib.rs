@@ -15,34 +15,113 @@
 //!
 //! Run with `cargo run --release -p cr-spectre-bench --bin fig5`.
 
-use cr_spectre_core::campaign::{DetectorSeries, EvasionResult};
+use cr_spectre_core::campaign::{CampaignConfig, DetectorSeries, EvasionResult};
+use cr_spectre_telemetry as telemetry;
+use cr_spectre_telemetry::sink::{JsonlSink, Sink, SummarySink};
 
-/// Parses `--threads N` from the process arguments.
+/// The command-line options every experiment binary accepts:
 ///
-/// Every experiment binary accepts it; `None` means "use the
-/// [`CampaignConfig`](cr_spectre_core::campaign::CampaignConfig)
-/// default", i.e. every available core. The campaign engine guarantees
-/// bit-identical output at every thread count, so the flag only changes
-/// wall-clock time.
-///
-/// # Panics
-///
-/// Panics (with a usage message) when the argument after `--threads` is
-/// missing, unparsable, or zero — these binaries have no other error
-/// channel.
-pub fn threads_arg() -> Option<usize> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            let raw = args.next().unwrap_or_else(|| panic!("--threads needs a value"));
-            let threads: usize = raw
-                .parse()
-                .unwrap_or_else(|_| panic!("bad --threads value {raw:?} (expected a count)"));
-            assert!(threads > 0, "--threads must be at least 1");
-            return Some(threads);
+/// * `--threads N` — worker threads (default: all cores; results are
+///   bit-identical at every thread count, the flag only changes
+///   wall-clock time);
+/// * `--quick` — smoke-scale configuration;
+/// * `--quiet` — suppress commentary and the telemetry summary report;
+///   only final result tables are printed;
+/// * `--telemetry PATH` — record a structured JSONL trace of the run.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// `--threads N`, if given.
+    pub threads: Option<usize>,
+    /// `--quick`: smoke-scale campaign configuration.
+    pub quick: bool,
+    /// `--quiet`: only final results on stdout, no summary report.
+    pub quiet: bool,
+    /// `--telemetry PATH`: JSONL trace destination.
+    pub telemetry: Option<String>,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments. Unknown arguments are ignored so
+    /// binaries can layer their own flags on top.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) when a flag's value is missing,
+    /// unparsable, or zero — these binaries have no other error channel.
+    pub fn parse() -> BenchOpts {
+        BenchOpts::from_args(std::env::args().skip(1))
+    }
+
+    /// [`BenchOpts::parse`] over an explicit argument list (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let raw = it.next().unwrap_or_else(|| panic!("--threads needs a value"));
+                    let threads: usize = raw.parse().unwrap_or_else(|_| {
+                        panic!("bad --threads value {raw:?} (expected a count)")
+                    });
+                    assert!(threads > 0, "--threads must be at least 1");
+                    opts.threads = Some(threads);
+                }
+                "--telemetry" => {
+                    let path = it.next().unwrap_or_else(|| panic!("--telemetry needs a path"));
+                    opts.telemetry = Some(path);
+                }
+                "--quick" => opts.quick = true,
+                "--quiet" => opts.quiet = true,
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// The campaign configuration these options select: paper scale or
+    /// `--quick` smoke scale, with `--threads` applied.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        let mut cfg =
+            if self.quick { CampaignConfig::smoke() } else { CampaignConfig::default() };
+        if let Some(threads) = self.threads {
+            cfg.threads = threads;
+        }
+        cfg
+    }
+
+    /// Installs the telemetry recorder this invocation asked for: a
+    /// [`JsonlSink`] when `--telemetry PATH` was given, plus the human
+    /// [`SummarySink`] report unless `--quiet`. Without `--telemetry`
+    /// this is a no-op and recording stays disabled (the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace file cannot be created.
+    pub fn init_telemetry(&self) {
+        let Some(path) = &self.telemetry else { return };
+        let jsonl = JsonlSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot create telemetry file {path:?}: {e}"));
+        let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(jsonl)];
+        if !self.quiet {
+            sinks.push(Box::new(SummarySink::new()));
+        }
+        telemetry::install(sinks);
+    }
+
+    /// Shuts the recorder down: aggregates totals, writes the JSONL
+    /// footer lines, and (unless `--quiet`) prints the summary report to
+    /// stderr. Call once, after the last result line.
+    pub fn finish(&self) {
+        let _ = telemetry::shutdown();
+    }
+
+    /// Prints a commentary/progress line — suppressed by `--quiet`.
+    /// Final result tables print unconditionally via `println!`.
+    pub fn note(&self, msg: &str) {
+        if !self.quiet {
+            println!("{msg}");
         }
     }
-    None
 }
 
 /// Formats an accuracy as the paper's percentage.
@@ -132,5 +211,41 @@ mod tests {
     #[test]
     fn printing_does_not_panic() {
         print_evasion(&fake_result(), "Fig X");
+    }
+
+    fn opts(args: &[&str]) -> BenchOpts {
+        BenchOpts::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bench_opts_parse_all_flags() {
+        let o = opts(&["--quick", "--threads", "3", "--quiet", "--telemetry", "t.jsonl"]);
+        assert!(o.quick && o.quiet);
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.telemetry.as_deref(), Some("t.jsonl"));
+        let cfg = o.campaign_config();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.attempts, 3, "--quick selects the smoke scale");
+    }
+
+    #[test]
+    fn bench_opts_defaults_and_unknown_args() {
+        let o = opts(&["--frobnicate", "7"]);
+        assert!(!o.quick && !o.quiet);
+        assert_eq!(o.threads, None);
+        assert_eq!(o.telemetry, None);
+        assert_eq!(o.campaign_config().attempts, 10, "paper scale by default");
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn bench_opts_rejects_zero_threads() {
+        let _ = opts(&["--threads", "0"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--telemetry needs a path")]
+    fn bench_opts_requires_telemetry_path() {
+        let _ = opts(&["--telemetry"]);
     }
 }

@@ -22,6 +22,7 @@ use cr_spectre_hpc::profiler::{profile, Trace};
 use cr_spectre_sim::config::MachineConfig;
 use cr_spectre_sim::cpu::Machine;
 use cr_spectre_sim::pmu::HpcEvent;
+use cr_spectre_telemetry as telemetry;
 use cr_spectre_workloads::benign::BenignApp;
 use cr_spectre_workloads::host::standalone_image;
 use cr_spectre_workloads::mibench::Mibench;
@@ -102,11 +103,20 @@ pub struct NoiseModel {
 
 impl NoiseModel {
     /// Fits per-column amplitudes on a reference corpus.
+    ///
+    /// Degenerate inputs — no rows, zero-width rows, a non-positive or
+    /// non-finite strength, or columns whose magnitudes are not finite —
+    /// yield the [identity model](NoiseModel::is_identity) (or an
+    /// identity column) rather than NaN amplitudes that would silently
+    /// corrupt every window they touch.
     pub fn fit(rows: &[Vec<f64>], strength: f64) -> NoiseModel {
-        if rows.is_empty() || strength <= 0.0 {
-            return NoiseModel { amps: Vec::new() };
+        if rows.is_empty() || !strength.is_finite() || strength <= 0.0 {
+            return NoiseModel::identity();
         }
         let dim = rows[0].len();
+        if dim == 0 {
+            return NoiseModel::identity();
+        }
         let mut amps = vec![0.0; dim];
         for row in rows {
             for (a, v) in amps.iter_mut().zip(row) {
@@ -115,8 +125,24 @@ impl NoiseModel {
         }
         for a in &mut amps {
             *a = *a / rows.len() as f64 * strength;
+            // A column fed NaN/∞ (or short rows leaving it at 0) becomes
+            // an identity column: `apply` only perturbs positive finite
+            // amplitudes.
+            if !a.is_finite() {
+                *a = 0.0;
+            }
         }
         NoiseModel { amps }
+    }
+
+    /// The model that leaves every row untouched.
+    pub fn identity() -> NoiseModel {
+        NoiseModel { amps: Vec::new() }
+    }
+
+    /// Whether [`NoiseModel::apply`] is a no-op.
+    pub fn is_identity(&self) -> bool {
+        self.amps.iter().all(|&a| a <= 0.0)
     }
 
     /// Adds uniform background counts to every row.
@@ -256,18 +282,24 @@ pub struct Fig4Row {
 /// simulated exactly once and shared by every row (the serial engine
 /// recomputed identical traces per host).
 pub fn fig4(cfg: &CampaignConfig) -> Vec<Fig4Row> {
+    let mut driver_span = telemetry::span("campaign.fig4");
+    driver_span.field("threads", cfg.threads).field("samples_per_class", cfg.samples_per_class);
     let sizes = [16usize, 8, 4, 2, 1];
     let full = FeatureSet::paper(16);
     // Collect traces once at full width, then project per size. The
     // benign class is one series host plus the always-running background
     // applications, as in the paper's profiling scope.
-    let host_traces = par_map(Mibench::FIG4_HOSTS.to_vec(), cfg.threads, |host| {
-        profile_standalone(&cfg.machine, &standalone_image(host), cfg.sample_interval)
-    });
-    let app_traces = par_map(BenignApp::ALL.to_vec(), cfg.threads, |app| {
-        profile_standalone(&cfg.machine, &app.image(), cfg.sample_interval)
-    });
-    let attack_outcomes = attack_training_traces(cfg);
+    let (host_traces, app_traces, attack_outcomes) = {
+        let _phase = telemetry::span("fig4.collect_traces");
+        let host_traces = par_map(Mibench::FIG4_HOSTS.to_vec(), cfg.threads, |host| {
+            profile_standalone(&cfg.machine, &standalone_image(host), cfg.sample_interval)
+        });
+        let app_traces = par_map(BenignApp::ALL.to_vec(), cfg.threads, |app| {
+            profile_standalone(&cfg.machine, &app.image(), cfg.sample_interval)
+        });
+        let attack_outcomes = attack_training_traces(cfg);
+        (host_traces, app_traces, attack_outcomes)
+    };
 
     let per_host: Vec<(usize, Mibench, Trace)> = Mibench::FIG4_HOSTS
         .iter()
@@ -277,6 +309,8 @@ pub fn fig4(cfg: &CampaignConfig) -> Vec<Fig4Row> {
         .map(|((index, host), trace)| (index, host, trace))
         .collect();
     par_map(per_host, cfg.threads, |(host_index, host, host_trace)| {
+        let mut trial_span = telemetry::span("fig4.host");
+        trial_span.field("host", host.name()).field("index", host_index);
         let mut benign = Dataset::new();
         benign.push_trace(&host_trace, Label::Benign, &full);
         for trace in &app_traces {
@@ -351,19 +385,26 @@ pub struct EvasionResult {
 /// never learns, so none is needed, saving attack overhead as the paper
 /// notes).
 pub fn fig5(cfg: &CampaignConfig) -> EvasionResult {
+    let mut driver_span = telemetry::span("campaign.fig5");
+    driver_span.field("threads", cfg.threads).field("attempts", cfg.attempts);
     let features = FeatureSet::paper_default();
+    let mut phase = telemetry::span("fig5.train");
     let mut training = build_training_data(cfg, &Mibench::FIG4_HOSTS, &features);
+    phase.field("rows", training.len());
     let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
     noise.apply(&mut training.x, cfg.seed, streams::FIG5_TRAIN);
     // The four detector families train independently, one per worker.
     let hids: Vec<Hid> = par_map(HidKind::ALL.to_vec(), cfg.threads, |kind| {
         Hid::train(kind, HidMode::Offline, training.clone())
     });
+    drop(phase);
 
     // Offline HIDs never learn between attempts, so every attempt is an
     // independent trial: simulate them all in parallel, then score in
     // attempt order.
     let per_attempt = par_map_indices(cfg.attempts, cfg.threads, |attempt| {
+        let mut trial_span = telemetry::span("fig5.attempt");
+        trial_span.field("attempt", attempt);
         // (a) plain Spectre, alternating variants (the paper averages
         // variants; alternation also provides attempt-to-attempt motion).
         let variant = SpectreVariant::ALL[attempt % 2];
@@ -381,6 +422,7 @@ pub fn fig5(cfg: &CampaignConfig) -> EvasionResult {
         (spectre_rows, cr_rows)
     });
 
+    let _score_phase = telemetry::span("fig5.score");
     let mut spectre_series = init_series();
     let mut cr_series = init_series();
     for (spectre_rows, cr_rows) in &per_attempt {
@@ -399,10 +441,15 @@ pub fn fig5(cfg: &CampaignConfig) -> EvasionResult {
 /// detects the current variant (>80 %), the attacker mutates the
 /// perturbation parameters before the next attempt.
 pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
+    let mut driver_span = telemetry::span("campaign.fig6");
+    driver_span.field("threads", cfg.threads).field("attempts", cfg.attempts);
     let features = FeatureSet::paper_default();
+    let mut phase = telemetry::span("fig6.train");
     let mut training = build_training_data(cfg, &Mibench::FIG4_HOSTS, &features);
+    phase.field("rows", training.len());
     let noise = NoiseModel::fit(&training.x, cfg.noise_strength);
     noise.apply(&mut training.x, cfg.seed, streams::FIG6_TRAIN);
+    drop(phase);
 
     // Panel (a): online HIDs vs plain Spectre. The detectors retrain on
     // every attempt, so scoring is a serial fold — but the attempts'
@@ -412,12 +459,15 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
         Hid::train(kind, HidMode::Online, training.clone())
     });
     let attempt_rows = par_map_indices(cfg.attempts, cfg.threads, |attempt| {
+        let mut trial_span = telemetry::span("fig6.spectre_attempt");
+        trial_span.field("attempt", attempt);
         let variant = SpectreVariant::ALL[attempt % 2];
         let outcome = spectre_trace(cfg, variant, attempt);
         let mut rows = outcome.attack_rows(&features);
         noise.apply(&mut rows, cfg.seed, streams::FIG6_SPECTRE + attempt as u64);
         rows
     });
+    let spectre_score_phase = telemetry::span("fig6.score_spectre");
     let mut spectre_series = init_series();
     for rows in &attempt_rows {
         for (series, hid) in spectre_series.iter_mut().zip(&mut hids) {
@@ -426,6 +476,7 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
             hid.observe(rows, Label::Attack);
         }
     }
+    drop(spectre_score_phase);
 
     // Panel (b): online HIDs vs dynamically perturbed CR-Spectre. The
     // attempt chain is inherently serial — the next variant depends on
@@ -438,6 +489,8 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
     let mut generator = VariantGenerator::new(cfg.seed);
     let mut variant = generator.next_variant();
     for attempt in 0..cfg.attempts {
+        let mut trial_span = telemetry::span("fig6.attempt");
+        trial_span.field("attempt", attempt);
         let mut attack =
             AttackConfig::new(Mibench::FIG4_HOSTS[attempt % 4]).with_perturb(variant);
         attack.machine = cfg.machine.clone();
@@ -486,11 +539,13 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
             hid.ingest(&benign_rows, Label::Benign);
             hid.retrain();
         }
+        trial_span.field("detected", detected_by_any).field("evaded", evaded_by_all);
         if detected_by_any || !evaded_by_all {
             // Defense-aware adaptation (Figure 3): the attacker's goal is
             // < 55 % — any detector still above the evasion bar triggers
             // a new variant.
             variant = generator.next_variant();
+            telemetry::counter("fig6.adaptations", 1);
         }
     }
     EvasionResult { spectre: spectre_series, cr_spectre: cr_series }
@@ -540,6 +595,8 @@ impl Table1Row {
 /// "negligible overhead on the host" claim is about. `iterations` runs
 /// are averaged (paper: 100).
 pub fn table1(cfg: &CampaignConfig, iterations: usize) -> Vec<Table1Row> {
+    let mut driver_span = telemetry::span("campaign.table1");
+    driver_span.field("threads", cfg.threads).field("iterations", iterations);
     // Variant generation is a cheap serial RNG walk; do it up front so
     // the expensive simulations become a flat host × iteration fan-out
     // whose every job is a pure function of its indices.
@@ -557,6 +614,8 @@ pub fn table1(cfg: &CampaignConfig, iterations: usize) -> Vec<Table1Row> {
         })
         .collect();
     let measurements = par_map(jobs, cfg.threads, |(host, i, online_variant)| {
+        let mut trial_span = telemetry::span("table1.job");
+        trial_span.field("host", host.name()).field("iteration", i);
         let interval = jittered_interval(cfg.sample_interval, i);
         // Original application.
         let trace = profile_standalone(&cfg.machine, &standalone_image(host), interval);
@@ -683,6 +742,41 @@ mod tests {
                 "stream {stream:#x} replayed another stream's noise vector"
             );
         }
+    }
+
+    #[test]
+    fn noise_fit_degenerate_inputs_yield_identity() {
+        // Empty corpus, zero-width rows, non-positive or non-finite
+        // strength: all must give the identity model, not NaN amplitudes.
+        for model in [
+            NoiseModel::fit(&[], 3.0),
+            NoiseModel::fit(&[vec![], vec![]], 3.0),
+            NoiseModel::fit(&[vec![1.0, 2.0]], 0.0),
+            NoiseModel::fit(&[vec![1.0, 2.0]], -1.0),
+            NoiseModel::fit(&[vec![1.0, 2.0]], f64::NAN),
+            NoiseModel::fit(&[vec![1.0, 2.0]], f64::INFINITY),
+            NoiseModel::identity(),
+        ] {
+            assert!(model.is_identity(), "{model:?}");
+            let mut rows = vec![vec![1.5, -2.5], vec![0.0, 4.0]];
+            let before = format!("{rows:?}");
+            model.apply(&mut rows, 0xda7e, 1);
+            assert_eq!(format!("{rows:?}"), before, "{model:?} perturbed rows");
+        }
+    }
+
+    #[test]
+    fn noise_fit_nonfinite_columns_become_identity_columns() {
+        // A NaN/∞-contaminated column must not poison its neighbours or
+        // panic `apply` (random_range(0.0..∞) would).
+        let rows = vec![vec![f64::NAN, 10.0, f64::INFINITY], vec![1.0, 10.0, 2.0]];
+        let model = NoiseModel::fit(&rows, 3.0);
+        assert!(!model.is_identity(), "healthy column keeps its amplitude");
+        let mut out = vec![vec![0.0, 0.0, 0.0]];
+        model.apply(&mut out, 0xda7e, 2);
+        assert_eq!(out[0][0], 0.0, "NaN column untouched");
+        assert_eq!(out[0][2], 0.0, "infinite column untouched");
+        assert!(out[0][1] > 0.0 && out[0][1].is_finite(), "healthy column perturbed");
     }
 
     #[test]

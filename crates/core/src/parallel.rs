@@ -24,6 +24,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use cr_spectre_telemetry as telemetry;
+
 /// The default worker count: every core the host offers.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -70,8 +72,32 @@ where
 {
     let n = items.len();
     let threads = threads.max(1).min(n.max(1));
+    // Telemetry here observes scheduling (queue waits, job runtimes); it
+    // never feeds back into `f`, so outputs stay bit-identical whether a
+    // recorder is installed or not.
+    let recording = telemetry::enabled();
+    let mut span = telemetry::span("par_map");
+    span.field("jobs", n).field("threads", threads);
     if threads == 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        if recording {
+            telemetry::counter("par_map.jobs", n as u64);
+        }
+        return items
+            .into_iter()
+            .map(|item| {
+                if recording {
+                    let t0 = std::time::Instant::now();
+                    let result = f(item);
+                    telemetry::histogram(
+                        "par_map.job_us",
+                        t0.elapsed().as_secs_f64() * 1_000_000.0,
+                    );
+                    result
+                } else {
+                    f(item)
+                }
+            })
+            .collect();
     }
 
     // Each input owns a slot; workers claim indices from the cursor and
@@ -87,6 +113,7 @@ where
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| loop {
+                    let claim_start = recording.then(std::time::Instant::now);
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= n {
                         break;
@@ -96,7 +123,24 @@ where
                         .expect("input slot poisoned")
                         .take()
                         .expect("each index is claimed exactly once");
+                    let exec_start = if let Some(t0) = claim_start {
+                        // Claim phase: cursor bump + slot lock/take.
+                        telemetry::histogram(
+                            "par_map.claim_us",
+                            t0.elapsed().as_secs_f64() * 1_000_000.0,
+                        );
+                        telemetry::counter("par_map.jobs", 1);
+                        Some(std::time::Instant::now())
+                    } else {
+                        None
+                    };
                     let result = f(item);
+                    if let Some(t0) = exec_start {
+                        telemetry::histogram(
+                            "par_map.job_us",
+                            t0.elapsed().as_secs_f64() * 1_000_000.0,
+                        );
+                    }
                     *output[index].lock().expect("output slot poisoned") = Some(result);
                 })
             })

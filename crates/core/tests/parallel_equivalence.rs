@@ -45,6 +45,33 @@ fn table1_is_identical_serial_and_parallel() {
     assert_eq!(serial, parallel);
 }
 
+/// Telemetry is observation-only: with a recorder installed, every
+/// driver still produces bit-identical results — serial vs parallel and
+/// recording vs not. (Only this test installs the process-global
+/// recorder, and it uninstalls it on shutdown; the sibling tests are
+/// unaffected either way because recording never changes results.)
+#[test]
+fn fig5_is_identical_with_telemetry_enabled() {
+    use cr_spectre_telemetry as telemetry;
+    use cr_spectre_telemetry::sink::MemorySink;
+
+    let disabled = format!("{:?}", fig5(&tiny(2)));
+    let sink = MemorySink::shared();
+    assert!(telemetry::install(vec![Box::new(sink.clone())]), "no other recorder exists");
+    let serial = format!("{:?}", fig5(&tiny(1)));
+    let parallel = format!("{:?}", fig5(&tiny(4)));
+    let summary = telemetry::shutdown().expect("recorder was installed");
+    assert_eq!(serial, parallel, "equivalence holds while recording");
+    assert_eq!(serial, disabled, "recording does not change results");
+    // And the trace really observed the runs.
+    assert!(summary.spans.contains_key("campaign.fig5"));
+    assert!(summary.spans.contains_key("fig5.train"));
+    let spans = sink.spans();
+    assert!(spans.iter().any(|s| s.name == "fig5.attempt"));
+    assert!(spans.iter().any(|s| s.name == "hpc.profile"));
+    assert!(summary.counters.get("sim.runs").copied().unwrap_or(0) > 0);
+}
+
 #[test]
 fn thread_count_beyond_work_width_is_still_identical() {
     // More workers than items exercises the clamp path.

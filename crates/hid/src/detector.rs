@@ -3,6 +3,7 @@
 
 use cr_spectre_hpc::dataset::Dataset;
 use cr_spectre_hpc::features::Normalizer;
+use cr_spectre_telemetry as telemetry;
 
 use crate::logreg::LogisticRegression;
 use crate::net::DenseNet;
@@ -126,6 +127,10 @@ impl Hid {
     /// Panics when `training` is empty.
     pub fn train(kind: HidKind, mode: HidMode, training: Dataset) -> Hid {
         assert!(!training.is_empty(), "cannot train an HID on no data");
+        let mut span = telemetry::span("hid.train");
+        span.field("kind", kind.name())
+            .field("mode", if mode == HidMode::Online { "online" } else { "offline" })
+            .field("rows", training.len());
         let normalizer = Normalizer::fit(&training.x);
         let mut model = kind.build();
         let mut x = training.x.clone();
@@ -248,6 +253,8 @@ impl Hid {
         if self.mode == HidMode::Offline {
             return;
         }
+        let mut span = telemetry::span("hid.retrain");
+        span.field("kind", self.kind.name()).field("corpus", self.corpus.len());
         let observed = self.corpus.len() - self.initial_len;
         if observed > self.observed_cap {
             let drop = observed - self.observed_cap;

@@ -2,6 +2,7 @@
 //! classifier and the "NN (TensorFlow)" 6-layer ReLU network, both
 //! implemented from scratch with backpropagation.
 
+use cr_spectre_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -99,9 +100,13 @@ impl DenseNet {
         acts.last().expect("output layer")[0]
     }
 
-    fn backprop(&mut self, row: &[f64], target: f64) {
+    /// One SGD step. Returns whether the *pre-update* prediction already
+    /// matched the target — free to compute (the forward pass is needed
+    /// anyway) and lets `fit` track convergence without a second pass.
+    fn backprop(&mut self, row: &[f64], target: f64) -> bool {
         let layers = self.weights.len();
         let (zs, acts) = self.forward(row);
+        let correct = (acts[layers][0] >= 0.5) == (target >= 0.5);
         // Output delta for sigmoid + BCE: (p - t).
         let mut delta = vec![acts[layers][0] - target];
         for l in (0..layers).rev() {
@@ -128,6 +133,7 @@ impl DenseNet {
             }
             delta = prev_delta;
         }
+        correct
     }
 }
 
@@ -142,11 +148,28 @@ impl Detector for DenseNet {
         self.init(x[0].len());
         let mut order: Vec<usize> = (0..x.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
-        for _ in 0..self.epochs {
+        // First epoch at which ≥ 99.5 % of samples were already classified
+        // correctly before their update — a pure observation; training
+        // always runs the full epoch budget so results are unchanged.
+        let mut converged_at: Option<usize> = None;
+        for epoch in 0..self.epochs {
             order.shuffle(&mut rng);
+            let mut correct = 0usize;
             for &i in &order {
-                self.backprop(&x[i], f64::from(y[i]));
+                if self.backprop(&x[i], f64::from(y[i])) {
+                    correct += 1;
+                }
             }
+            if converged_at.is_none() && correct as f64 >= 0.995 * x.len() as f64 {
+                converged_at = Some(epoch + 1);
+            }
+        }
+        if telemetry::enabled() {
+            telemetry::counter("hid.fits", 1);
+            telemetry::histogram(
+                "hid.epochs_to_converge",
+                converged_at.unwrap_or(self.epochs) as f64,
+            );
         }
     }
 

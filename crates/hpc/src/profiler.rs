@@ -9,6 +9,7 @@
 use cr_spectre_sim::cpu::{Machine, StepStatus};
 use cr_spectre_sim::error::RunOutcome;
 use cr_spectre_sim::pmu::{HpcEvent, PmuSnapshot};
+use cr_spectre_telemetry as telemetry;
 
 /// One sampling window's counter deltas.
 #[derive(Debug, Clone)]
@@ -65,6 +66,11 @@ impl Trace {
 /// The machine must already be started (`start`/`start_with_arg`).
 pub fn profile(machine: &mut Machine, app: &str, interval: u64) -> Trace {
     assert!(interval > 0, "sampling interval must be nonzero");
+    // Per-trial telemetry: one span per profiled run with wall time and
+    // speculation activity. The step loop itself stays uninstrumented —
+    // everything here reads the PMU once at the end.
+    let mut span = telemetry::span("hpc.profile");
+    let wall_start = span.is_recording().then(std::time::Instant::now);
     let mut samples = Vec::new();
     let mut last = machine.pmu().snapshot();
     let mut next = machine.cycles() + interval;
@@ -94,6 +100,26 @@ pub fn profile(machine: &mut Machine, app: &str, interval: u64) -> Trace {
             }
         }
     };
+    if span.is_recording() {
+        span.field("app", app)
+            .field("interval", interval)
+            .field("windows", samples.len())
+            .field("instructions", outcome.instructions)
+            .field("cycles", outcome.cycles)
+            .field("ipc", outcome.ipc());
+        if let Some(start) = wall_start {
+            let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+            span.field("wall_ms", wall_ms);
+            telemetry::histogram("hpc.trial_wall_ms", wall_ms);
+        }
+        telemetry::counter("hpc.trials", 1);
+        telemetry::counter("hpc.windows", samples.len() as u64);
+        telemetry::histogram(
+            "hpc.squashes_per_trial",
+            machine.pmu().count(HpcEvent::SpecSquashes) as f64,
+        );
+        machine.emit_telemetry();
+    }
     Trace { app: app.to_string(), samples, outcome }
 }
 
@@ -153,5 +179,61 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_interval_panics() {
         let _ = profiled(0);
+    }
+
+    /// A guest that halts on its first instruction: the shortest possible
+    /// run. The profiler must not fabricate windows and the delta/total
+    /// invariant must still hold.
+    #[test]
+    fn zero_length_run_yields_at_most_the_tail_window() {
+        use cr_spectre_sim::image::{Image, ImageSegment, SegKind};
+        use cr_spectre_sim::isa::Instr;
+        let text: Vec<u8> = Instr::Halt.encode().to_vec();
+        let image = Image::new(
+            "halt",
+            vec![ImageSegment { name: ".text".into(), kind: SegKind::Text, offset: 0, bytes: text }],
+            0,
+        );
+        let mut m = Machine::new(MachineConfig::default());
+        let li = m.load(&image).expect("loads");
+        m.start(li.entry);
+        let trace = profile(&mut m, "halt", 2_000);
+        assert!(trace.len() <= 1, "got {} windows", trace.len());
+        assert!(trace.outcome.exit.is_clean());
+        let total: u64 = trace.samples.iter().map(|s| s.count(HpcEvent::Instructions)).sum();
+        assert_eq!(total, trace.outcome.instructions);
+        if let Some(sample) = trace.samples.first() {
+            assert!(sample.count(HpcEvent::Instructions) > 0, "tail window only if non-empty");
+        }
+    }
+
+    /// An interval beyond the run's total cycles: everything lands in the
+    /// single final partial window, which must carry the full totals.
+    #[test]
+    fn interval_larger_than_run_gives_one_window_with_totals() {
+        let trace = profiled(u64::MAX);
+        assert_eq!(trace.len(), 1, "exactly the tail window");
+        let only = &trace.samples[0];
+        assert_eq!(only.count(HpcEvent::Instructions), trace.outcome.instructions);
+        assert_eq!(only.count(HpcEvent::Cycles), trace.outcome.cycles);
+        assert_eq!(only.at_cycle, trace.outcome.cycles);
+    }
+
+    /// Window boundaries are strictly increasing cycle stamps — the HID's
+    /// notion of time must never see a duplicated or reordered window.
+    #[test]
+    fn at_cycle_is_strictly_increasing() {
+        for interval in [500u64, 2_000, 7_919] {
+            let trace = profiled(interval);
+            assert!(trace.len() > 1, "interval {interval}");
+            for pair in trace.samples.windows(2) {
+                assert!(
+                    pair[0].at_cycle < pair[1].at_cycle,
+                    "interval {interval}: {} !< {}",
+                    pair[0].at_cycle,
+                    pair[1].at_cycle
+                );
+            }
+        }
     }
 }

@@ -394,6 +394,27 @@ impl CacheHierarchy {
     pub fn total_evictions(&self) -> u64 {
         self.l1d.evictions() + self.l1i.evictions() + self.l2.evictions()
     }
+
+    /// Publishes per-level hit/miss/eviction totals to the global
+    /// telemetry layer (counters under `sim.cache.*`). Called once per
+    /// completed run by [`crate::cpu::Machine::emit_telemetry`], never
+    /// from the access path.
+    pub fn emit_telemetry(&self) {
+        use cr_spectre_telemetry as telemetry;
+        if !telemetry::enabled() {
+            return;
+        }
+        for (prefix, cache) in [
+            (("sim.cache.l1d.hits", "sim.cache.l1d.misses", "sim.cache.l1d.evictions"), &self.l1d),
+            (("sim.cache.l1i.hits", "sim.cache.l1i.misses", "sim.cache.l1i.evictions"), &self.l1i),
+            (("sim.cache.l2.hits", "sim.cache.l2.misses", "sim.cache.l2.evictions"), &self.l2),
+        ] {
+            telemetry::counter(prefix.0, cache.hits());
+            telemetry::counter(prefix.1, cache.misses());
+            telemetry::counter(prefix.2, cache.evictions());
+        }
+        telemetry::counter("sim.cache.prefetch_fills", self.prefetch_fills);
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ use crate::isa::{AluOp, Instr, Reg, Width, INSTR_BYTES};
 use crate::mem::{Memory, Perms, PAGE_SIZE};
 use crate::pmu::{HpcEvent, Pmu};
 use crate::branch::Predictor;
+use cr_spectre_telemetry as telemetry;
 
 /// System-call numbers understood by the machine.
 pub mod sys {
@@ -420,8 +421,15 @@ impl Machine {
 
     /// Runs until the guest halts, exits or faults.
     pub fn run(&mut self) -> RunOutcome {
+        let mut span = telemetry::span("sim.run");
         loop {
             if let StepStatus::Done(exit) = self.step() {
+                if span.is_recording() {
+                    span.field("exit", format!("{exit:?}"))
+                        .field("instructions", self.retired)
+                        .field("cycles", self.cycle);
+                    self.emit_telemetry();
+                }
                 return RunOutcome {
                     exit,
                     instructions: self.retired,
@@ -429,6 +437,30 @@ impl Machine {
                 };
             }
         }
+    }
+
+    /// Publishes this machine's cumulative PMU and cache activity to the
+    /// global telemetry layer (counters under `sim.*`).
+    ///
+    /// Called once per completed run — never from the step loop, so the
+    /// hot path pays nothing beyond one relaxed atomic load, and nothing
+    /// at all when telemetry is disabled. Observation only: reads the
+    /// PMU/caches, never the RNG or architectural state.
+    pub fn emit_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let pmu = &self.pmu;
+        telemetry::counter("sim.runs", 1);
+        telemetry::counter("sim.instructions", pmu.count(HpcEvent::Instructions));
+        telemetry::counter("sim.cycles", pmu.count(HpcEvent::Cycles));
+        telemetry::counter("sim.spec_instrs", pmu.count(HpcEvent::SpecInstrs));
+        telemetry::counter("sim.spec_squashes", pmu.count(HpcEvent::SpecSquashes));
+        telemetry::counter("sim.branch_mispredicts", pmu.count(HpcEvent::BranchMispredicts));
+        telemetry::counter("sim.stall_cycles_mem", pmu.count(HpcEvent::StallCyclesMem));
+        telemetry::counter("sim.stall_cycles_branch", pmu.count(HpcEvent::StallCyclesBranch));
+        telemetry::counter("sim.flushes", pmu.count(HpcEvent::Flushes));
+        self.caches.emit_telemetry();
     }
 
     /// Runs up to `limit` architectural instructions, recording each

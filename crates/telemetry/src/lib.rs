@@ -1,0 +1,447 @@
+//! # cr-spectre-telemetry
+//!
+//! Zero-dependency structured telemetry for the CR-Spectre workspace:
+//! hierarchical **spans** with monotonic timing and key/value fields,
+//! **counters** and **histograms**, and pluggable **sinks** — a
+//! thread-safe JSONL trace writer for machine consumption and a human
+//! summary report for campaign end.
+//!
+//! The paper's whole premise is observability (HPC traces are both the
+//! attack's cover and the HID's signal); this crate is the equivalent
+//! instrument pointed at our *own* reproduction: where do the cycles of
+//! a fig5 campaign go, how long does each trial take, how hard does the
+//! speculative core squash, how many epochs until a detector converges.
+//!
+//! ## Design constraints
+//!
+//! * **Off by default, near-zero when off.** All entry points first read
+//!   one relaxed [`AtomicBool`]; with no recorder installed they return
+//!   immediately without allocating or taking a lock.
+//! * **Observation only.** The crate has no dependencies (not even the
+//!   vendored `rand`) and no API that could feed back into the
+//!   simulation: it never touches an RNG, a seed, or any value a driver
+//!   computes. `crates/core/tests/parallel_equivalence.rs` locks in that
+//!   campaign results are bit-identical with telemetry enabled.
+//! * **Thread-safe.** Spans may open and close on campaign worker
+//!   threads; sinks serialize internally.
+//!
+//! ## Example
+//!
+//! ```
+//! use cr_spectre_telemetry as telemetry;
+//! use telemetry::sink::MemorySink;
+//!
+//! let sink = MemorySink::shared();
+//! if telemetry::install(vec![Box::new(sink.clone())]) {
+//!     {
+//!         let mut span = telemetry::span("demo.work");
+//!         span.field("items", 3u64);
+//!         telemetry::counter("demo.widgets", 3);
+//!         telemetry::histogram("demo.latency_us", 12.5);
+//!     }
+//!     let summary = telemetry::shutdown().expect("was installed");
+//!     assert_eq!(summary.counters["demo.widgets"], 3);
+//!     assert_eq!(sink.spans().len(), 1);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod sink;
+pub mod summary;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use sink::Sink;
+use summary::Summary;
+
+// ---------------------------------------------------------------------
+// Field values
+// ---------------------------------------------------------------------
+
+/// A span field value: the small scalar vocabulary JSONL can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------
+
+/// A closed span, as handed to sinks.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (dotted hierarchy by convention: `fig5.attempt`).
+    pub name: &'static str,
+    /// Unique id within this recorder session.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+    /// Microseconds from recorder installation to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Key/value annotations attached while the span was open.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+// ---------------------------------------------------------------------
+// Global recorder
+// ---------------------------------------------------------------------
+
+struct Recorder {
+    sinks: Vec<Box<dyn Sink>>,
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    summary: RwLock<Summary>,
+}
+
+impl Recorder {
+    fn record_span(&self, record: SpanRecord) {
+        if let Ok(mut summary) = self.summary.write() {
+            summary.record_span(record.name, record.dur_us);
+        }
+        for sink in &self.sinks {
+            sink.record_span(&record);
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether a recorder is currently installed.
+///
+/// One relaxed atomic load — cheap enough to gate per-trial
+/// instrumentation in hot paths.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a recorder that fans out to `sinks`. Returns `false` (and
+/// drops the sinks) if one is already installed; telemetry is a process
+/// singleton.
+pub fn install(sinks: Vec<Box<dyn Sink>>) -> bool {
+    let mut slot = RECORDER.write().expect("telemetry registry poisoned");
+    if slot.is_some() {
+        return false;
+    }
+    *slot = Some(Arc::new(Recorder {
+        sinks,
+        epoch: Instant::now(),
+        next_span_id: AtomicU64::new(1),
+        summary: RwLock::new(Summary::default()),
+    }));
+    ENABLED.store(true, Ordering::Release);
+    true
+}
+
+/// Uninstalls the recorder: flushes every sink with the aggregated
+/// [`Summary`] and returns it. `None` if nothing was installed.
+pub fn shutdown() -> Option<Summary> {
+    let recorder = {
+        let mut slot = RECORDER.write().expect("telemetry registry poisoned");
+        ENABLED.store(false, Ordering::Release);
+        slot.take()?
+    };
+    let summary = recorder.summary.read().expect("summary poisoned").clone();
+    for sink in &recorder.sinks {
+        sink.flush(&summary);
+    }
+    Some(summary)
+}
+
+fn with_recorder(f: impl FnOnce(&Arc<Recorder>)) {
+    if let Ok(slot) = RECORDER.read() {
+        if let Some(recorder) = slot.as_ref() {
+            f(recorder);
+        }
+    }
+}
+
+/// Adds `delta` to the named monotonic counter. No-op when disabled.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        if let Ok(mut summary) = r.summary.write() {
+            summary.record_counter(name, delta);
+        }
+    });
+}
+
+/// Records one observation into the named histogram. No-op when disabled.
+#[inline]
+pub fn histogram(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| {
+        if let Ok(mut summary) = r.summary.write() {
+            summary.record_histogram(name, value);
+        }
+    });
+}
+
+/// Opens a span. The returned guard records the span (duration, fields,
+/// parent linkage) when dropped; when telemetry is disabled this is a
+/// no-op that performs no allocation.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let mut inner = None;
+    with_recorder(|recorder| {
+        let id = recorder.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        inner = Some(SpanInner {
+            recorder: Arc::clone(recorder),
+            name,
+            id,
+            parent,
+            start: Instant::now(),
+            start_us: u64::try_from(recorder.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+            fields: Vec::new(),
+        });
+    });
+    Span { inner }
+}
+
+struct SpanInner {
+    recorder: Arc<Recorder>,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span; see [`span`].
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attaches a key/value annotation; recorded when the span closes.
+    /// No-op on a disabled span.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) -> &mut Span {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this guard is live (telemetry was enabled at open).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(f, "Span({} #{})", inner.name, inner.id),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Usually a plain pop; the position scan tolerates guards
+            // dropped out of scope order.
+            if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            name: inner.name,
+            id: inner.id,
+            parent: inner.parent,
+            thread: THREAD_TAG.with(|t| *t),
+            start_us: inner.start_us,
+            dur_us: u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX),
+            fields: inner.fields,
+        };
+        inner.recorder.record_span(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use std::sync::Mutex;
+
+    // The recorder is a process singleton; serialize the tests that
+    // install one.
+    static INSTALL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        INSTALL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_paths_are_no_ops() {
+        let _guard = locked();
+        assert!(!enabled());
+        counter("nope", 1);
+        histogram("nope", 1.0);
+        let mut s = span("nope");
+        s.field("k", 1u64);
+        assert!(!s.is_recording());
+        drop(s);
+        assert!(shutdown().is_none());
+    }
+
+    #[test]
+    fn spans_counters_histograms_round_trip() {
+        let _guard = locked();
+        let sink = MemorySink::shared();
+        assert!(install(vec![Box::new(sink.clone())]));
+        assert!(enabled());
+        {
+            let mut outer = span("outer");
+            outer.field("k", "v");
+            let inner = span("inner");
+            assert!(inner.is_recording());
+            drop(inner);
+        }
+        counter("c", 2);
+        counter("c", 3);
+        histogram("h", 1.0);
+        histogram("h", 3.0);
+        let summary = shutdown().expect("installed");
+        assert!(!enabled());
+
+        assert_eq!(summary.counters["c"], 5);
+        let h = &summary.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert!((h.sum - 4.0).abs() < 1e-12);
+        assert_eq!(summary.spans["outer"].count, 1);
+        assert_eq!(summary.spans["inner"].count, 1);
+
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2, "inner closes first, then outer");
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.fields, vec![("k", FieldValue::Str("v".into()))]);
+        assert!(sink.flushed());
+    }
+
+    #[test]
+    fn double_install_is_rejected() {
+        let _guard = locked();
+        assert!(install(vec![]));
+        assert!(!install(vec![]));
+        assert!(shutdown().is_some());
+    }
+
+    #[test]
+    fn spans_on_worker_threads_record_independently() {
+        let _guard = locked();
+        let sink = MemorySink::shared();
+        assert!(install(vec![Box::new(sink.clone())]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut s = span("worker");
+                    s.field("ok", true);
+                });
+            }
+        });
+        let summary = shutdown().expect("installed");
+        assert_eq!(summary.spans["worker"].count, 4);
+        // Top-level spans on fresh threads have no parent.
+        assert!(sink.spans().iter().all(|s| s.parent.is_none()));
+    }
+}

@@ -1,0 +1,349 @@
+//! Telemetry sinks: where records go.
+//!
+//! * [`JsonlSink`] — machine-readable newline-delimited JSON: one line
+//!   per closed span as it happens, then `counter` / `histogram` /
+//!   `span_stats` lines plus a final `summary` line at flush.
+//! * [`SummarySink`] — human-readable report printed at flush
+//!   (campaign end); goes to stderr so result tables on stdout stay
+//!   machine-parseable.
+//! * [`MemorySink`] — in-process capture for tests.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::{escape_into, number_into};
+use crate::summary::Summary;
+use crate::{FieldValue, SpanRecord};
+
+/// A destination for telemetry records. Implementations must serialize
+/// internally: spans close concurrently on campaign worker threads.
+pub trait Sink: Send + Sync {
+    /// Called once per closed span, in close order per thread.
+    fn record_span(&self, span: &SpanRecord);
+
+    /// Called once at [`crate::shutdown`] with the aggregated totals.
+    fn flush(&self, summary: &Summary);
+}
+
+// ---------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------
+
+/// Thread-safe JSONL trace writer.
+///
+/// Line schema (`type` discriminates):
+///
+/// ```text
+/// {"type":"meta","version":1,"tool":"cr-spectre-telemetry"}
+/// {"type":"span","name":"fig5.attempt","id":7,"parent":3,"thread":2,
+///  "start_us":120,"dur_us":4520,"fields":{"attempt":1,"variant":"v1"}}
+/// {"type":"counter","name":"sim.instructions","value":123456}
+/// {"type":"histogram","name":"par_map.job_us","count":10,"sum":99.0,
+///  "min":4.0,"max":21.0,"mean":9.9}
+/// {"type":"span_stats","name":"hpc.profile","count":12,"total_us":..,
+///  "min_us":..,"max_us":..}
+/// {"type":"summary","spans":N,"counters":N,"histograms":N}
+/// ```
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path` and writes the
+    /// `meta` header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created
+    /// or written.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        JsonlSink::from_writer(Box::new(BufWriter::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (tests use in-memory buffers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the `meta` header line cannot
+    /// be written.
+    pub fn from_writer(mut writer: Box<dyn Write + Send>) -> io::Result<JsonlSink> {
+        writeln!(writer, r#"{{"type":"meta","version":1,"tool":"cr-spectre-telemetry"}}"#)?;
+        Ok(JsonlSink { writer: Mutex::new(writer) })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Telemetry must never take the process down: drop the line on
+        // I/O error (e.g. disk full) and keep simulating.
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+fn field_value_into(value: &FieldValue, out: &mut String) {
+    use std::fmt::Write;
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) => number_into(*v, out),
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Str(v) => escape_into(v, out),
+    }
+}
+
+/// Renders one span record as a JSONL line (no trailing newline).
+pub fn span_to_json(span: &SpanRecord) -> String {
+    use std::fmt::Write;
+    let mut line = String::with_capacity(128);
+    line.push_str(r#"{"type":"span","name":"#);
+    escape_into(span.name, &mut line);
+    let _ = write!(line, r#","id":{}"#, span.id);
+    if let Some(parent) = span.parent {
+        let _ = write!(line, r#","parent":{parent}"#);
+    }
+    let _ = write!(
+        line,
+        r#","thread":{},"start_us":{},"dur_us":{}"#,
+        span.thread, span.start_us, span.dur_us
+    );
+    if !span.fields.is_empty() {
+        line.push_str(r#","fields":{"#);
+        for (i, (key, value)) in span.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            escape_into(key, &mut line);
+            line.push(':');
+            field_value_into(value, &mut line);
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+impl Sink for JsonlSink {
+    fn record_span(&self, span: &SpanRecord) {
+        self.write_line(&span_to_json(span));
+    }
+
+    fn flush(&self, summary: &Summary) {
+        use std::fmt::Write;
+        let mut block = String::with_capacity(1024);
+        for (name, value) in &summary.counters {
+            block.push_str(r#"{"type":"counter","name":"#);
+            escape_into(name, &mut block);
+            let _ = write!(block, r#","value":{value}}}"#);
+            block.push('\n');
+        }
+        for (name, h) in &summary.histograms {
+            block.push_str(r#"{"type":"histogram","name":"#);
+            escape_into(name, &mut block);
+            let _ = write!(block, r#","count":{},"sum":"#, h.count);
+            number_into(h.sum, &mut block);
+            block.push_str(r#","min":"#);
+            number_into(h.min, &mut block);
+            block.push_str(r#","max":"#);
+            number_into(h.max, &mut block);
+            block.push_str(r#","mean":"#);
+            number_into(h.mean(), &mut block);
+            block.push_str("}\n");
+        }
+        for (name, s) in &summary.spans {
+            block.push_str(r#"{"type":"span_stats","name":"#);
+            escape_into(name, &mut block);
+            let _ = write!(
+                block,
+                r#","count":{},"total_us":{},"min_us":{},"max_us":{}}}"#,
+                s.count, s.total_us, s.min_us, s.max_us
+            );
+            block.push('\n');
+        }
+        let _ = write!(
+            block,
+            r#"{{"type":"summary","spans":{},"counters":{},"histograms":{}}}"#,
+            summary.spans.len(),
+            summary.counters.len(),
+            summary.histograms.len()
+        );
+        self.write_line(&block);
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Human summary
+// ---------------------------------------------------------------------
+
+/// Prints [`Summary::render`] to stderr when the recorder shuts down.
+#[derive(Debug, Default)]
+pub struct SummarySink;
+
+impl SummarySink {
+    /// Creates the sink.
+    pub fn new() -> SummarySink {
+        SummarySink
+    }
+}
+
+impl Sink for SummarySink {
+    fn record_span(&self, _span: &SpanRecord) {}
+
+    fn flush(&self, summary: &Summary) {
+        eprint!("{}", summary.render());
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory capture (tests)
+// ---------------------------------------------------------------------
+
+/// Captures spans and the flushed summary in memory; clone the
+/// [`MemorySink::shared`] handle to keep reading after installation.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    state: Arc<Mutex<MemoryState>>,
+}
+
+#[derive(Debug, Default)]
+struct MemoryState {
+    spans: Vec<SpanRecord>,
+    flushed: Option<Summary>,
+}
+
+impl MemorySink {
+    /// Creates a sink whose clones all view the same captured state.
+    pub fn shared() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Spans captured so far, in close order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).spans.clone()
+    }
+
+    /// Whether [`Sink::flush`] ran.
+    pub fn flushed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).flushed.is_some()
+    }
+
+    /// The summary delivered at flush, if any.
+    pub fn summary(&self) -> Option<Summary> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).flushed.clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record_span(&self, span: &SpanRecord) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).spans.push(span.clone());
+    }
+
+    fn flush(&self, summary: &Summary) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).flushed = Some(summary.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    /// A `Write` that appends into a shared buffer, so the test can read
+    /// back what the sink wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_span() -> SpanRecord {
+        SpanRecord {
+            name: "test.span",
+            id: 2,
+            parent: Some(1),
+            thread: 0,
+            start_us: 10,
+            dur_us: 42,
+            fields: vec![
+                ("host", FieldValue::Str("crc\"32".into())),
+                ("n", FieldValue::U64(7)),
+                ("ok", FieldValue::Bool(true)),
+                ("ipc", FieldValue::F64(1.25)),
+            ],
+        }
+    }
+
+    #[test]
+    fn span_line_parses_back() {
+        let line = span_to_json(&sample_span());
+        let v = parse(&line).expect("valid JSON");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("span"));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("test.span"));
+        assert_eq!(v.get("parent").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("dur_us").unwrap().as_f64(), Some(42.0));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("host").unwrap().as_str(), Some("crc\"32"));
+        assert_eq!(fields.get("n").unwrap().as_f64(), Some(7.0));
+        assert_eq!(fields.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(fields.get("ipc").unwrap().as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_parseable_lines_for_everything() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::from_writer(Box::new(buf.clone())).expect("writer");
+        sink.record_span(&sample_span());
+        let mut summary = Summary::default();
+        summary.record_counter("c", 3);
+        summary.record_histogram("h", 2.0);
+        summary.record_span("test.span", 42);
+        sink.flush(&summary);
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 5, "meta + span + counter + histogram + span_stats + summary");
+        let mut types = Vec::new();
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("line {line:?}: {e}"));
+            types.push(v.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        for expected in ["meta", "span", "counter", "histogram", "span_stats", "summary"] {
+            assert!(types.iter().any(|t| t == expected), "missing {expected} in {types:?}");
+        }
+    }
+
+    #[test]
+    fn memory_sink_captures() {
+        let sink = MemorySink::shared();
+        let handle = sink.clone();
+        sink.record_span(&sample_span());
+        assert_eq!(handle.spans().len(), 1);
+        assert!(!handle.flushed());
+        sink.flush(&Summary::default());
+        assert!(handle.flushed());
+        assert!(handle.summary().expect("flushed").is_empty());
+    }
+}

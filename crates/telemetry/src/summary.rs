@@ -1,0 +1,199 @@
+//! Aggregated telemetry state and the human-readable campaign report.
+//!
+//! The recorder folds every closed span, counter increment and histogram
+//! observation into one [`Summary`]; sinks receive it at flush time. The
+//! JSONL sink serializes it as `counter`/`histogram`/`span_stats` lines,
+//! the summary sink renders [`Summary::render`] for humans.
+
+use std::collections::BTreeMap;
+
+/// Aggregate statistics over all closed spans sharing a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans closed under this name.
+    pub count: u64,
+    /// Total microseconds across all of them.
+    pub total_us: u64,
+    /// Shortest single span.
+    pub min_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
+}
+
+impl SpanStats {
+    /// Mean duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl HistogramStats {
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything the recorder aggregated over its lifetime.
+///
+/// `BTreeMap` keeps the report (and the JSONL flush block) in stable
+/// alphabetical order, independent of recording interleaving.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Per-name span statistics.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms.
+    pub histograms: BTreeMap<&'static str, HistogramStats>,
+}
+
+impl Summary {
+    /// Folds one closed span in.
+    pub fn record_span(&mut self, name: &'static str, dur_us: u64) {
+        let stats = self.spans.entry(name).or_insert(SpanStats {
+            count: 0,
+            total_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        });
+        stats.count += 1;
+        stats.total_us += dur_us;
+        stats.min_us = stats.min_us.min(dur_us);
+        stats.max_us = stats.max_us.max(dur_us);
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn record_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Folds one histogram observation in.
+    pub fn record_histogram(&mut self, name: &'static str, value: f64) {
+        let stats = self.histograms.entry(name).or_insert(HistogramStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        stats.count += 1;
+        stats.sum += value;
+        stats.min = stats.min.min(value);
+        stats.max = stats.max.max(value);
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the human-readable report the summary sink prints at
+    /// campaign end.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry summary ==");
+        if self.is_empty() {
+            let _ = writeln!(out, "  (nothing recorded)");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "spans                             count   total_ms    mean_ms     max_ms"
+            );
+            for (name, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<30} {:>7} {:>10.1} {:>10.3} {:>10.3}",
+                    s.count,
+                    s.total_us as f64 / 1_000.0,
+                    s.mean_us() / 1_000.0,
+                    s.max_us as f64 / 1_000.0,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<30} {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms                        count       mean        min        max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<30} {:>7} {:>10.3} {:>10.3} {:>10.3}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_tracks_count_min_max() {
+        let mut s = Summary::default();
+        s.record_span("a", 10);
+        s.record_span("a", 30);
+        s.record_counter("c", 7);
+        s.record_counter("c", 1);
+        s.record_histogram("h", -1.0);
+        s.record_histogram("h", 5.0);
+        assert_eq!(s.spans["a"].count, 2);
+        assert_eq!(s.spans["a"].min_us, 10);
+        assert_eq!(s.spans["a"].max_us, 30);
+        assert!((s.spans["a"].mean_us() - 20.0).abs() < 1e-12);
+        assert_eq!(s.counters["c"], 8);
+        assert_eq!(s.histograms["h"].min, -1.0);
+        assert_eq!(s.histograms["h"].max, 5.0);
+        assert!((s.histograms["h"].mean() - 2.0).abs() < 1e-12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn render_contains_every_section() {
+        let mut s = Summary::default();
+        s.record_span("phase.one", 1_500);
+        s.record_counter("trials", 3);
+        s.record_histogram("lat_us", 2.0);
+        let report = s.render();
+        assert!(report.contains("phase.one"));
+        assert!(report.contains("trials"));
+        assert!(report.contains("lat_us"));
+        assert!(Summary::default().render().contains("nothing recorded"));
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`workloads`] | `cr-spectre-workloads` | MiBench-like hosts, benign apps, vulnerable host |
 //! | [`hpc`] | `cr-spectre-hpc` | PMU profiling, features, datasets |
 //! | [`hid`] | `cr-spectre-hid` | LR/SVM/MLP/NN detectors, offline + online |
+//! | [`telemetry`] | `cr-spectre-telemetry` | spans, counters, JSONL trace export (off by default) |
 //! | [`attack`], [`campaign`], [`covert`], [`perturb`], [`spectre`] | `cr-spectre-core` | the paper's contribution |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@ pub use cr_spectre_hid as hid;
 pub use cr_spectre_hpc as hpc;
 pub use cr_spectre_rop as rop;
 pub use cr_spectre_sim as sim;
+pub use cr_spectre_telemetry as telemetry;
 pub use cr_spectre_workloads as workloads;
 
 pub use cr_spectre_core::{attack, campaign, covert, perturb, spectre};

@@ -237,6 +237,8 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     use cr_spectre::campaign::{fig4, fig5, fig6, table1, CampaignConfig, EvasionResult};
+    use cr_spectre::telemetry;
+    use cr_spectre::telemetry::sink::{JsonlSink, Sink, SummarySink};
 
     let mut cfg =
         if args.switch("quick") { CampaignConfig::smoke() } else { CampaignConfig::default() };
@@ -255,7 +257,25 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     if !["all", "fig4", "fig5", "fig6", "table1"].contains(&artifact) {
         return Err(format!("unknown artifact {artifact:?} (fig4 | fig5 | fig6 | table1 | all)"));
     }
-    println!("campaign on {} worker thread(s)\n", cfg.threads);
+    let quiet = args.switch("quiet");
+    if args.switch("telemetry") {
+        return Err("--telemetry needs a path".to_string());
+    }
+    if let Some(path) = args.value("telemetry") {
+        // Recording is off by default; installing sinks turns it on for
+        // this run. Telemetry observes the campaign, it never feeds back:
+        // results are bit-identical with and without it.
+        let jsonl = JsonlSink::create(path)
+            .map_err(|e| format!("cannot create telemetry file {path:?}: {e}"))?;
+        let mut sinks: Vec<Box<dyn Sink>> = vec![Box::new(jsonl)];
+        if !quiet {
+            sinks.push(Box::new(SummarySink::new()));
+        }
+        telemetry::install(sinks);
+    }
+    if !quiet {
+        println!("campaign on {} worker thread(s)\n", cfg.threads);
+    }
 
     let headline = |result: &EvasionResult| {
         let spectre_mean = result.spectre.iter().map(|s| s.mean()).sum::<f64>()
@@ -306,7 +326,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             rows.len()
         );
     }
-    println!("\nfull paper-style tables: cargo run --release -p cr-spectre-bench --bin <artifact>");
+    if !quiet {
+        println!(
+            "\nfull paper-style tables: cargo run --release -p cr-spectre-bench --bin <artifact>"
+        );
+    }
+    let _ = telemetry::shutdown();
     Ok(())
 }
 
@@ -350,6 +375,11 @@ campaign options:
   --threads N       worker threads (default: all cores; results are
                     bit-identical at every thread count)
   --quick           smoke-scale configuration
+  --telemetry PATH  record a structured JSONL trace of the run (spans,
+                    counters, histograms; off by default, and results
+                    are bit-identical with it on)
+  --quiet           only final result lines; suppresses commentary and
+                    the telemetry summary report
 ";
 
 fn main() -> ExitCode {
