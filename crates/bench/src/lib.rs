@@ -11,7 +11,10 @@
 //! * `fig6`   — online HID vs Spectre / dynamic CR-Spectre (Figure 6);
 //! * `table1` — IPC overhead per benchmark (Table I);
 //! * `ablations` — extra sweeps of design choices (speculation window,
-//!   covert-channel stride, perturbation delay, feature composition).
+//!   covert-channel stride, perturbation delay, feature composition);
+//! * `sim_throughput` — perf-regression harness for the execution fast
+//!   path: guest MIPS fast vs. slow on a fixed instruction mix and the
+//!   fig5 smoke campaign, written to `BENCH_sim.json`.
 //!
 //! Run with `cargo run --release -p cr-spectre-bench --bin fig5`.
 

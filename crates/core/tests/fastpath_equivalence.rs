@@ -1,0 +1,70 @@
+//! The fast path's headline guarantee (the PR-3 analogue of
+//! `parallel_equivalence.rs`): every experiment driver produces
+//! **bit-identical** results with the execution fast path enabled vs. the
+//! `MachineConfig::fast_path = false` escape hatch.
+//!
+//! `Debug` formatting of `f64` round-trips every bit, so string equality
+//! of the rendered artifacts is bit equality of every number in them.
+//! fig5 and fig6 run the full CR-Spectre chain — ROP injection rewrites
+//! host code at runtime — so these tests also cover the self-modifying
+//! path of the predecode cache at campaign scale.
+
+use cr_spectre_core::campaign::{fig4, fig5, fig6, table1, CampaignConfig};
+
+/// Smoke scale; `fast` toggles the machine's execution fast path.
+fn tiny(fast: bool) -> CampaignConfig {
+    let mut cfg = CampaignConfig::smoke();
+    cfg.machine.fast_path = fast;
+    cfg
+}
+
+#[test]
+fn fig4_is_identical_with_fast_path_disabled() {
+    let fast = format!("{:?}", fig4(&tiny(true)));
+    let slow = format!("{:?}", fig4(&tiny(false)));
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn fig5_is_identical_with_fast_path_disabled() {
+    // fig5 runs the CR-Spectre attack: the ROP chain `exec`-injects the
+    // Spectre binary into the running host image (self-modifying code).
+    let fast = format!("{:?}", fig5(&tiny(true)));
+    let slow = format!("{:?}", fig5(&tiny(false)));
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn fig6_is_identical_with_fast_path_disabled() {
+    let fast = format!("{:?}", fig6(&tiny(true)));
+    let slow = format!("{:?}", fig6(&tiny(false)));
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn table1_is_identical_with_fast_path_disabled() {
+    let fast = format!("{:?}", table1(&tiny(true), 2));
+    let slow = format!("{:?}", table1(&tiny(false), 2));
+    assert_eq!(fast, slow);
+}
+
+/// The three-way cross-check: fast path on, off, and on-while-recording
+/// all agree, and the telemetry trace actually observed the simulator's
+/// hot path (instruction counts flow through the batched PMU flush).
+#[test]
+fn fig5_is_identical_with_fast_path_and_telemetry() {
+    use cr_spectre_telemetry as telemetry;
+    use cr_spectre_telemetry::sink::MemorySink;
+
+    let slow = format!("{:?}", fig5(&tiny(false)));
+    let sink = MemorySink::shared();
+    assert!(telemetry::install(vec![Box::new(sink.clone())]), "no other recorder exists");
+    let fast_recorded = format!("{:?}", fig5(&tiny(true)));
+    let summary = telemetry::shutdown().expect("recorder was installed");
+    assert_eq!(fast_recorded, slow, "fast path + telemetry still bit-identical");
+    assert!(summary.spans.contains_key("campaign.fig5"));
+    assert!(
+        summary.counters.get("sim.instructions").copied().unwrap_or(0) > 0,
+        "instruction counts reached telemetry through the batched PMU flush"
+    );
+}

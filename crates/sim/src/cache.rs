@@ -58,10 +58,24 @@ pub enum Lookup {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// `!(line_size - 1)`: masks an address down to its line address.
+    line_mask: u64,
+    /// `log2(line_size)`: shifts a line address down to a line number.
+    line_shift: u32,
+    /// `sets - 1`: masks a line number down to a set index.
+    set_mask: usize,
     /// `sets × ways` tag entries; `None` = invalid.
     tags: Vec<Option<u64>>,
     /// LRU stamps parallel to `tags` (higher = more recently used).
     stamps: Vec<u64>,
+    /// MRU hint: slot of the most recent hit or fill. Validated against
+    /// `tags` before use, so flushes need not reset it.
+    last_slot: usize,
+    /// Fast lookup path (precomputed shift/mask indexing + MRU hint).
+    /// When off, every access runs the reference implementation:
+    /// divide/modulo index math and a full set scan. Results are
+    /// identical either way; see `MachineConfig::fast_path`.
+    fast: bool,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -80,8 +94,13 @@ impl Cache {
         assert!(config.ways > 0, "ways must be nonzero");
         Cache {
             config,
+            line_mask: !(config.line_size - 1),
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: config.sets - 1,
             tags: vec![None; config.sets * config.ways],
             stamps: vec![0; config.sets * config.ways],
+            last_slot: 0,
+            fast: true,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -94,25 +113,62 @@ impl Cache {
         &self.config
     }
 
-    fn line_addr(&self, addr: u64) -> u64 {
-        addr & !(self.config.line_size - 1)
+    /// Selects the fast lookup path (default) or the reference
+    /// implementation. Placement, LRU, and every counter are identical;
+    /// only the wall-clock cost of a lookup changes.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast = enabled;
     }
 
+    #[inline]
+    fn line_addr(&self, addr: u64) -> u64 {
+        if self.fast {
+            addr & self.line_mask
+        } else {
+            // Reference formula: runtime divide (not a const the compiler
+            // can strength-reduce — line_size is a struct field).
+            addr / self.config.line_size * self.config.line_size
+        }
+    }
+
+    #[inline]
     fn set_index(&self, line: u64) -> usize {
-        ((line / self.config.line_size) as usize) & (self.config.sets - 1)
+        if self.fast {
+            ((line >> self.line_shift) as usize) & self.set_mask
+        } else {
+            ((line / self.config.line_size) as usize) % self.config.sets
+        }
+    }
+
+    /// The set the line containing `addr` maps to (exposed so tests can pin
+    /// the index math for the standard geometries).
+    pub fn set_index_of(&self, addr: u64) -> usize {
+        self.set_index(self.line_addr(addr))
     }
 
     /// Looks up `addr`, filling the line on a miss (evicting LRU if needed).
     pub fn access(&mut self, addr: u64) -> Lookup {
         let line = self.line_addr(addr);
+        self.tick += 1;
+        // MRU hint: straight-line code and tight probe loops hit the same
+        // line back to back. Tags are unique per line and only ever written
+        // in a line's home set, so a tag match proves the hint is valid.
+        if self.fast {
+            let slot = self.last_slot;
+            if self.tags[slot] == Some(line) {
+                self.stamps[slot] = self.tick;
+                self.hits += 1;
+                return Lookup::Hit;
+            }
+        }
         let set = self.set_index(line);
         let base = set * self.config.ways;
-        self.tick += 1;
         // Hit path.
         for way in 0..self.config.ways {
             if self.tags[base + way] == Some(line) {
                 self.stamps[base + way] = self.tick;
                 self.hits += 1;
+                self.last_slot = base + way;
                 return Lookup::Hit;
             }
         }
@@ -129,7 +185,48 @@ impl Cache {
         }
         self.tags[base + victim] = Some(line);
         self.stamps[base + victim] = self.tick;
+        self.last_slot = base + victim;
         Lookup::Miss
+    }
+
+    /// Applies a batch of `total` coalesced hits, interleaved across the
+    /// lines in `entries`, in one go: final state (tick, LRU stamps, hit
+    /// count) is exactly what the `total` individual [`Cache::access`]
+    /// hits would leave behind.
+    ///
+    /// Each entry is `(addr, last_seq)` where `last_seq` is the 1-based
+    /// position of that line's *final* hit within the batch — replaying
+    /// it as `stamp = tick_before_batch + last_seq` reproduces the LRU
+    /// state bit-exactly, because a sequential run stamps each line at
+    /// the tick of its last hit and advances tick once per hit.
+    ///
+    /// The caller must guarantee every entry's line is resident and that
+    /// no other access to this cache happened during the batch — the
+    /// machine's fetch coalescers uphold this by applying before any
+    /// potential miss, flush or observation (hits cannot evict, so
+    /// tracked lines stay resident).
+    pub(crate) fn bulk_batch(&mut self, entries: &[(u64, u64)], total: u64) {
+        let base_tick = self.tick;
+        self.tick += total;
+        self.hits += total;
+        'entries: for &(addr, last_seq) in entries {
+            let line = self.line_addr(addr);
+            let stamp = base_tick + last_seq;
+            let slot = self.last_slot;
+            if self.tags[slot] == Some(line) {
+                self.stamps[slot] = stamp;
+                continue;
+            }
+            let base = self.set_index(line) * self.config.ways;
+            for way in 0..self.config.ways {
+                if self.tags[base + way] == Some(line) {
+                    self.stamps[base + way] = stamp;
+                    self.last_slot = base + way;
+                    continue 'entries;
+                }
+            }
+            unreachable!("bulk_batch caller guarantees residency");
+        }
     }
 
     /// Returns whether the line containing `addr` is resident, without
@@ -257,6 +354,37 @@ impl CacheHierarchy {
             next_line_prefetch: config.next_line_prefetch,
             prefetch_fills: 0,
         }
+    }
+
+    /// Applies a batch of coalesced instruction-fetch hits to the L1i
+    /// (see [`Cache::bulk_batch`] for the contract and exactness proof).
+    pub(crate) fn l1i_bulk_batch(&mut self, entries: &[(u64, u64)], total: u64) {
+        self.l1i.bulk_batch(entries, total);
+    }
+
+    /// Applies a batch of coalesced data hits to the L1d model (the
+    /// data-side counterpart of [`CacheHierarchy::l1i_bulk_batch`]).
+    pub(crate) fn l1d_bulk_batch(&mut self, entries: &[(u64, u64)], total: u64) {
+        self.l1d.bulk_batch(entries, total);
+    }
+
+    /// Whether the line containing `addr` is resident in the L1i
+    /// (read-only — no LRU update; the coalescer's residency oracle).
+    pub(crate) fn l1i_probe(&self, addr: u64) -> bool {
+        self.l1i.probe(addr)
+    }
+
+    /// Whether the line containing `addr` is resident in the L1d
+    /// (read-only — no LRU update; the coalescer's residency oracle).
+    pub(crate) fn l1d_probe(&self, addr: u64) -> bool {
+        self.l1d.probe(addr)
+    }
+
+    /// Propagates the fast/reference lookup choice to every level.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.l1d.set_fast_path(enabled);
+        self.l1i.set_fast_path(enabled);
+        self.l2.set_fast_path(enabled);
     }
 
     /// Performs a data access (load or store — write-allocate).
@@ -535,5 +663,89 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
         let _ = Cache::new(CacheConfig { sets: 3, ways: 1, line_size: 64, hit_latency: 1 });
+    }
+
+    /// Pins the shift/mask index math to the reference formula
+    /// `(addr / line_size) mod sets` for every standard geometry, so a
+    /// regression in the precomputed masks cannot slip through.
+    #[test]
+    fn set_index_matches_reference_for_presets() {
+        for cfg in [CacheConfig::l1d(), CacheConfig::l1i(), CacheConfig::l2()] {
+            let c = Cache::new(cfg);
+            let addrs = [
+                0u64,
+                1,
+                cfg.line_size - 1,
+                cfg.line_size,
+                cfg.line_size + 1,
+                cfg.capacity() - 1,
+                cfg.capacity(),
+                0x1040,
+                0xdead_beef,
+                u64::MAX,
+            ];
+            for addr in addrs {
+                let reference = ((addr / cfg.line_size) % cfg.sets as u64) as usize;
+                assert_eq!(
+                    c.set_index_of(addr),
+                    reference,
+                    "geometry {cfg:?}, addr {addr:#x}"
+                );
+            }
+        }
+    }
+
+    /// Spot-checks concrete set numbers for the 64-set/64-byte-line L1
+    /// presets so the constants themselves are pinned, not just the formula.
+    #[test]
+    fn l1_preset_set_numbers() {
+        let c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.set_index_of(0x0000), 0);
+        assert_eq!(c.set_index_of(0x003f), 0, "same line");
+        assert_eq!(c.set_index_of(0x0040), 1, "next line, next set");
+        assert_eq!(c.set_index_of(0x0fc0), 63, "last set");
+        assert_eq!(c.set_index_of(0x1000), 0, "wraps every sets*line_size bytes");
+        let l2 = Cache::new(CacheConfig::l2());
+        assert_eq!(l2.set_index_of(0x7fc0), 511, "L2 has 512 sets");
+        assert_eq!(l2.set_index_of(0x8000), 0);
+    }
+
+    /// The MRU hint is an invisible optimization: hit/miss streams with and
+    /// without repeated lines, plus flushes in between, behave exactly as
+    /// the unhinted lookup would.
+    #[test]
+    fn mru_hint_is_transparent_across_flushes() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert_eq!(c.access(0x1000), Lookup::Miss);
+        assert_eq!(c.access(0x1000), Lookup::Hit, "hint hit");
+        c.flush(0x1000);
+        assert_eq!(c.access(0x1000), Lookup::Miss, "stale hint rejected after flush");
+        c.flush_all();
+        assert_eq!(c.access(0x1000), Lookup::Miss, "stale hint rejected after flush_all");
+        assert_eq!(c.access(0x2000), Lookup::Miss, "different line ignores hint");
+        assert_eq!(c.access(0x1000), Lookup::Hit, "full lookup still finds it");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 4);
+    }
+
+    /// The reference lookup path (`set_fast_path(false)`) produces the
+    /// identical hit/miss stream and identical counters over a stream
+    /// that exercises conflicts, repeats, and flushes.
+    #[test]
+    fn reference_path_matches_fast_path() {
+        let run = |fast: bool| {
+            let mut c = Cache::new(CacheConfig::l1d());
+            c.set_fast_path(fast);
+            let mut stream = Vec::new();
+            for i in 0u64..600 {
+                let addr = (i * 97) % 0x3000; // revisits lines and sets
+                stream.push(c.access(addr));
+                if i % 37 == 0 {
+                    c.flush(addr);
+                }
+            }
+            (stream, c.hits(), c.misses(), c.evictions())
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -76,6 +76,12 @@ pub struct MachineConfig {
     pub stack_size: u64,
     /// Seed for machine-internal randomness (canary value, `getrand`).
     pub seed: u64,
+    /// Execution fast path: predecoded-instruction cache plus the
+    /// single-page permission cache in [`crate::mem::Memory`]. Purely an
+    /// interpreter optimization — results are bit-identical either way
+    /// (enforced by the `fastpath_equivalence` suite) — but it can be
+    /// switched off to debug the simulator or to baseline the speedup.
+    pub fast_path: bool,
 }
 
 impl Default for MachineConfig {
@@ -91,6 +97,7 @@ impl Default for MachineConfig {
             max_instructions: 500_000_000,
             stack_size: 512 * 1024,
             seed: 0xc0ffee,
+            fast_path: true,
         }
     }
 }
@@ -140,6 +147,7 @@ mod tests {
         assert!(c.protect.clflush_enabled);
         assert!(!c.protect.shadow_stack);
         assert!(c.spec_window >= 8, "enough transient depth for Spectre v1");
+        assert!(c.fast_path, "fast path is the default; slow path is the debug hatch");
     }
 
     #[test]

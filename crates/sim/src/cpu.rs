@@ -24,6 +24,7 @@
 //! Spectre exploits and the behaviour hardware-assisted detectors observe
 //! through performance counters.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
@@ -73,6 +74,73 @@ pub enum StepStatus {
     Running,
     /// The run is over (cleanly or by fault).
     Done(ExitReason),
+}
+
+/// Number of slots in the predecoded-instruction cache. Power of two;
+/// covers 32 KiB of straight-line guest text (4096 slots × 8-byte
+/// instructions), comfortably more than any campaign workload image.
+const DECODE_SLOTS: usize = 4096;
+
+/// Direct-mapped software cache of decoded instructions, keyed by guest PC.
+///
+/// Validity is epoch-based: [`Memory::code_epoch`] moves on any mutation
+/// that could change fetched bytes (`poke`, a store into an executable
+/// page, any permission change), and the whole cache is dropped on the
+/// next lookup. A hit therefore proves both that the bytes are unchanged
+/// *and* that the page was fetchable when the entry was filled — which is
+/// what lets a hit skip the permission walk and the decode entirely.
+#[derive(Debug, Clone)]
+struct DecodeCache {
+    /// Guest PC tags; `u64::MAX` marks an invalid slot (that address can
+    /// never fetch successfully — it is out of bounds by construction).
+    tags: Box<[u64; DECODE_SLOTS]>,
+    /// Decoded instructions parallel to `tags`. Fixed-size arrays (not
+    /// boxed slices) so the masked slot index provably needs no bounds
+    /// check.
+    instrs: Box<[Instr; DECODE_SLOTS]>,
+    /// The [`Memory::code_epoch`] the current entries were filled under.
+    epoch: u64,
+}
+
+impl DecodeCache {
+    fn new() -> DecodeCache {
+        DecodeCache {
+            tags: Box::new([u64::MAX; DECODE_SLOTS]),
+            instrs: Box::new([Instr::Nop; DECODE_SLOTS]),
+            epoch: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(pc: u64) -> usize {
+        ((pc / INSTR_BYTES as u64) as usize) & (DECODE_SLOTS - 1)
+    }
+
+    fn clear(&mut self, epoch: u64) {
+        self.tags.fill(u64::MAX);
+        self.epoch = epoch;
+    }
+}
+
+/// Who is asking for an instruction; decides which side effects
+/// [`Machine::fetch_decode`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchMode {
+    /// Architectural step: icache access, L1i counters, miss latency.
+    Step,
+    /// Transient fetch: icache access and L1i counters, but no cycle
+    /// charge (the speculation loop tracks its own relative time).
+    Spec,
+    /// Pure lookahead (the tracer): no microarchitectural effects at all.
+    Peek,
+}
+
+/// Why [`Machine::fetch_decode`] failed.
+enum FetchFail {
+    /// Permission or bounds fault from [`Memory::fetch`].
+    Mem(crate::mem::MemFault),
+    /// Bytes were fetched but do not decode.
+    Decode,
 }
 
 /// The simulated machine.
@@ -129,7 +197,172 @@ pub struct Machine {
     shadow_stack: Vec<u64>,
     canary: u64,
     rng: StdRng,
-    last_evictions: u64,
+    last_evictions: Cell<u64>,
+    /// Predecoded-instruction cache (the execution fast path).
+    dcache: DecodeCache,
+    /// L1i `[access, hit, miss]` counts for *non-coalesced* fetches (the
+    /// first fetch on a new line) accumulated since the last PMU flush;
+    /// mirrored into the PMU lazily when it is observed ([`Machine::pmu`])
+    /// and at speculation squash. `Cell` so the reconciliation can run
+    /// from shared-reference accessors.
+    pend_l1i: [Cell<u64>; 3],
+    /// Portion of `cycle` already mirrored into [`HpcEvent::Cycles`].
+    cycles_flushed: Cell<u64>,
+    /// Portion of `retired` already mirrored into
+    /// [`HpcEvent::Instructions`].
+    instrs_flushed: Cell<u64>,
+    /// Hit coalescer for instruction fetches (tracks a few hot L1i
+    /// lines; see [`FetchCoalescer`]). Batched hits are applied via
+    /// [`Machine::apply_pending_ifetches`] before anything can observe
+    /// or disturb L1i state.
+    icoal: FetchCoalescer,
+    /// Hit coalescer for data accesses — the L1d twin of `icoal`,
+    /// applied via [`Machine::apply_pending_dfetches`]. Each batched hit
+    /// is worth `L1dAccess` + `L1dHit` + `TotalCacheAccess` in the PMU
+    /// (instruction hits are `L1iAccess` + `L1iHit`).
+    dcoal: FetchCoalescer,
+    /// The L1d hit latency (a coalesced hit's access result).
+    l1d_hit_latency: u64,
+}
+
+/// Lines tracked per [`FetchCoalescer`]: enough for a hot loop spanning
+/// a few instruction lines plus its working-set data lines.
+const COALESCE_WAYS: usize = 4;
+
+/// Coalesces cache hits on a small set of hot lines.
+///
+/// A line enters the table when it is *proven resident* (a real model
+/// access just touched it, or a read-only probe found it). From then on,
+/// accesses to tracked lines only bump counters here — no cache-model
+/// work at all. That is sound because between batch applications only
+/// hits happen (any potential miss, flush, reset or observation applies
+/// the batch first), and hits never evict, so tracked lines stay
+/// resident for the whole batch.
+///
+/// Bit-exact replay: the model's final state after `n` interleaved hits
+/// is `tick += n`, `hits += n`, and each line's LRU stamp equal to the
+/// tick of its *last* hit. Recording a per-line `last_seq` (position in
+/// the batch) reproduces exactly that via [`Cache::bulk_batch`].
+#[derive(Debug, Clone)]
+struct FetchCoalescer {
+    /// Tracked line addresses; `u64::MAX` = empty slot.
+    lines: [u64; COALESCE_WAYS],
+    /// Batched hit count per tracked line.
+    counts: [u64; COALESCE_WAYS],
+    /// Batch sequence number of each line's most recent hit.
+    last_seq: [u64; COALESCE_WAYS],
+    /// Slot of the most recent hit — checked first, so a run of
+    /// accesses to one line costs a single compare.
+    mru: usize,
+    /// Total batched hits (== the running sequence number). `Cell` so
+    /// [`Machine::flush_pending_counters`] can read it from `&self`.
+    pending: Cell<u64>,
+    /// Portion of `pending` already mirrored into the PMU (always ≤
+    /// `pending`).
+    accounted: Cell<u64>,
+    /// `!(line_size - 1)`, precomputed at construction.
+    line_mask: u64,
+}
+
+impl FetchCoalescer {
+    fn new(line_size: u64) -> FetchCoalescer {
+        FetchCoalescer {
+            lines: [u64::MAX; COALESCE_WAYS],
+            counts: [0; COALESCE_WAYS],
+            last_seq: [0; COALESCE_WAYS],
+            mru: 0,
+            pending: Cell::new(0),
+            accounted: Cell::new(0),
+            line_mask: !(line_size - 1),
+        }
+    }
+
+    /// Records a hit on `line` if it is tracked. The hot path: one
+    /// compare against the MRU slot (same-line runs), falling back to a
+    /// scan of the other [`COALESCE_WAYS`] slots.
+    #[inline(always)]
+    fn note(&mut self, line: u64) -> bool {
+        let m = self.mru;
+        if self.lines[m] == line {
+            let seq = self.pending.get() + 1;
+            self.pending.set(seq);
+            self.counts[m] += 1;
+            self.last_seq[m] = seq;
+            return true;
+        }
+        self.note_scan(line)
+    }
+
+    /// The non-MRU half of [`FetchCoalescer::note`].
+    fn note_scan(&mut self, line: u64) -> bool {
+        for i in 0..COALESCE_WAYS {
+            if self.lines[i] == line {
+                let seq = self.pending.get() + 1;
+                self.pending.set(seq);
+                self.counts[i] += 1;
+                self.last_seq[i] = seq;
+                self.mru = i;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Starts tracking `line`, counting this access as a batched hit.
+    /// The caller must have proven the line resident and must only call
+    /// this with a free slot available (`free_slot`).
+    #[inline]
+    fn insert_hit(&mut self, slot: usize, line: u64) {
+        let seq = self.pending.get() + 1;
+        self.pending.set(seq);
+        self.lines[slot] = line;
+        self.counts[slot] = 1;
+        self.last_seq[slot] = seq;
+        self.mru = slot;
+    }
+
+    /// Starts tracking `line` with no batched hits — used right after a
+    /// real model access already accounted for the current access.
+    #[inline]
+    fn insert_seeded(&mut self, slot: usize, line: u64) {
+        self.lines[slot] = line;
+        self.counts[slot] = 0;
+        self.last_seq[slot] = 0;
+        self.mru = slot;
+    }
+
+    /// An empty slot, if any.
+    #[inline]
+    fn free_slot(&self) -> Option<usize> {
+        (0..COALESCE_WAYS).find(|&i| self.lines[i] == u64::MAX)
+    }
+
+    /// Drains the batch: returns `(entries, total, accounted)` where
+    /// `entries` holds `(line, last_seq)` for every line with batched
+    /// hits. Resets the table.
+    fn drain(&mut self) -> ([(u64, u64); COALESCE_WAYS], usize, u64, u64) {
+        let total = self.pending.replace(0);
+        let accounted = self.accounted.replace(0);
+        let mut entries = [(0u64, 0u64); COALESCE_WAYS];
+        let mut n = 0;
+        for i in 0..COALESCE_WAYS {
+            if self.lines[i] != u64::MAX && self.counts[i] > 0 {
+                entries[n] = (self.lines[i], self.last_seq[i]);
+                n += 1;
+            }
+        }
+        self.lines = [u64::MAX; COALESCE_WAYS];
+        self.counts = [0; COALESCE_WAYS];
+        self.last_seq = [0; COALESCE_WAYS];
+        self.mru = 0;
+        (entries, n, total, accounted)
+    }
+}
+
+/// Increments a batched `Cell` counter (plain load + store).
+#[inline]
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
 }
 
 impl Machine {
@@ -139,6 +372,7 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut mem = Memory::new(cfg.mem_size);
+        mem.set_fast_path(cfg.fast_path);
         // Info page: readable by guests (canary value lives here).
         mem.set_perms(INFO_PAGE, PAGE_SIZE, Perms::R);
         let canary = rng.next_u64() | 0xff; // never contains a zero low byte
@@ -150,8 +384,10 @@ impl Machine {
         let stack_lo = stack_hi - cfg.stack_size;
         let stack_perms = if cfg.protect.dep { Perms::RW } else { Perms::RWX };
         mem.set_perms(stack_lo, cfg.stack_size, stack_perms);
+        let mut caches = CacheHierarchy::new(cfg.caches);
+        caches.set_fast_path(cfg.fast_path);
         Machine {
-            caches: CacheHierarchy::new(cfg.caches),
+            caches,
             pred: Predictor::new(),
             pmu: Pmu::new(),
             regs: [0; 16],
@@ -172,7 +408,14 @@ impl Machine {
             shadow_stack: Vec::new(),
             canary,
             rng,
-            last_evictions: 0,
+            last_evictions: Cell::new(0),
+            dcache: DecodeCache::new(),
+            pend_l1i: [const { Cell::new(0) }; 3],
+            cycles_flushed: Cell::new(0),
+            instrs_flushed: Cell::new(0),
+            icoal: FetchCoalescer::new(cfg.caches.l1i.line_size),
+            dcoal: FetchCoalescer::new(cfg.caches.l1d.line_size),
+            l1d_hit_latency: cfg.caches.l1d.hit_latency,
             mem,
             cfg,
         }
@@ -304,12 +547,17 @@ impl Machine {
 
     /// Flushes caches and resets predictors and the PMU (cold start).
     pub fn reset_microarch(&mut self) {
+        self.apply_pending_ifetches();
+        self.apply_pending_dfetches();
         self.caches.flush_all();
         self.pred = Predictor::new();
         self.pmu.reset();
         self.cycle = 0;
         self.retired = 0;
-        self.last_evictions = 0;
+        self.last_evictions.set(0);
+        self.pend_l1i = [const { Cell::new(0) }; 3];
+        self.cycles_flushed.set(0);
+        self.instrs_flushed.set(0);
     }
 
     // ---------------------------------------------------------------
@@ -342,7 +590,16 @@ impl Machine {
     }
 
     /// The performance-counter bank.
+    ///
+    /// Reading the PMU is the reconciliation point for the fast path's
+    /// batched counters: pending L1i counts, the cycle/instruction
+    /// mirrors, and the eviction mirror are settled here, so samplers
+    /// reading between steps (the HPC profiler) always observe exact
+    /// totals — identical to the per-step mirroring of the reference
+    /// implementation.
     pub fn pmu(&self) -> &Pmu {
+        self.flush_pending_counters();
+        self.sync_eviction_counter();
         &self.pmu
     }
 
@@ -353,6 +610,8 @@ impl Machine {
 
     /// The cache hierarchy (mutation — e.g. priming experiments).
     pub fn caches_mut(&mut self) -> &mut CacheHierarchy {
+        self.apply_pending_ifetches();
+        self.apply_pending_dfetches();
         &mut self.caches
     }
 
@@ -444,13 +703,16 @@ impl Machine {
     ///
     /// Called once per completed run — never from the step loop, so the
     /// hot path pays nothing beyond one relaxed atomic load, and nothing
-    /// at all when telemetry is disabled. Observation only: reads the
-    /// PMU/caches, never the RNG or architectural state.
-    pub fn emit_telemetry(&self) {
+    /// at all when telemetry is disabled. Observation only for guest
+    /// state: reads the PMU/caches (after settling any coalesced fetch
+    /// counts), never the RNG or architectural state.
+    pub fn emit_telemetry(&mut self) {
         if !telemetry::enabled() {
             return;
         }
-        let pmu = &self.pmu;
+        self.apply_pending_ifetches();
+        self.apply_pending_dfetches();
+        let pmu = self.pmu();
         telemetry::counter("sim.runs", 1);
         telemetry::counter("sim.instructions", pmu.count(HpcEvent::Instructions));
         telemetry::counter("sim.cycles", pmu.count(HpcEvent::Cycles));
@@ -470,12 +732,9 @@ impl Machine {
         let mut trace = Vec::with_capacity(limit.min(4096));
         for _ in 0..limit {
             let pc = self.pc;
-            let mut bytes = [0u8; INSTR_BYTES];
-            let decoded = self
-                .mem
-                .fetch(pc, &mut bytes)
-                .ok()
-                .and_then(|()| Instr::decode(&bytes).ok());
+            // Peek: decode without microarchitectural effects — the `step`
+            // below performs the real fetch.
+            let decoded = self.fetch_decode(pc, FetchMode::Peek).ok();
             match self.step() {
                 StepStatus::Running => {
                     if let Some(instr) = decoded {
@@ -495,6 +754,12 @@ impl Machine {
 
     /// Executes one architectural instruction (including any transient
     /// execution it triggers) and reports whether the machine still runs.
+    ///
+    /// On the fast path, batched counters are settled lazily when the PMU
+    /// is observed ([`Machine::pmu`]), so samplers reading it between
+    /// steps — the HPC profiler — observe exact totals without the hot
+    /// loop paying a per-step mirror cost. The slow path reconciles the
+    /// eviction mirror every step, as the reference implementation did.
     pub fn step(&mut self) -> StepStatus {
         if let Some(exit) = &self.stopped {
             return StepStatus::Done(exit.clone());
@@ -502,41 +767,215 @@ impl Machine {
         if self.retired >= self.cfg.max_instructions {
             return self.stop_fault(Fault::MaxInstructions);
         }
-        let pc = self.pc;
-        let mut bytes = [0u8; INSTR_BYTES];
-        if let Err(fault) = self.mem.fetch(pc, &mut bytes) {
-            self.pmu.incr(HpcEvent::PageFaults);
-            return self.stop_fault(Fault::Mem(fault));
+        let status = self.step_inner();
+        if !self.cfg.fast_path {
+            self.sync_eviction_counter();
         }
-        let fetch = self.caches.access_instr(pc);
-        self.pmu.incr(HpcEvent::L1iAccess);
-        if fetch.l1_hit {
-            self.pmu.incr(HpcEvent::L1iHit);
-        } else {
-            self.pmu.incr(HpcEvent::L1iMiss);
-            self.tick(fetch.latency);
-        }
-        let instr = match Instr::decode(&bytes) {
-            Ok(i) => i,
-            Err(_) => return self.stop_fault(Fault::Decode { pc }),
-        };
-        self.retired += 1;
-        self.pmu.incr(HpcEvent::Instructions);
-        let status = self.exec(pc, instr);
-        self.sync_eviction_counter();
         status
     }
 
-    fn sync_eviction_counter(&mut self) {
+    fn step_inner(&mut self) -> StepStatus {
+        let pc = self.pc;
+        let instr = match self.fetch_decode(pc, FetchMode::Step) {
+            Ok(instr) => instr,
+            Err(FetchFail::Mem(fault)) => {
+                self.pmu.incr(HpcEvent::PageFaults);
+                return self.stop_fault(Fault::Mem(fault));
+            }
+            Err(FetchFail::Decode) => return self.stop_fault(Fault::Decode { pc }),
+        };
+        self.retired += 1;
+        if !self.cfg.fast_path {
+            self.pmu.incr(HpcEvent::Instructions);
+            self.instrs_flushed.set(self.retired);
+        }
+        self.exec(pc, instr)
+    }
+
+    /// The single fetch+decode choke point shared by `step`, `speculate`
+    /// and `run_traced`.
+    ///
+    /// Side-effect order matches the historical open-coded sites exactly:
+    /// a permission fault reports before any icache activity; a decode
+    /// error reports after it. A predecode-cache hit short-circuits both
+    /// the permission walk and the decode, which is sound because every
+    /// code mutation (`poke`, store to an executable page, `set_perms`)
+    /// moves [`Memory::code_epoch`] and drops the cache.
+    fn fetch_decode(&mut self, pc: u64, mode: FetchMode) -> Result<Instr, FetchFail> {
+        let fast = self.cfg.fast_path;
+        if fast {
+            if self.dcache.epoch != self.mem.code_epoch() {
+                self.dcache.clear(self.mem.code_epoch());
+            } else {
+                let slot = DecodeCache::slot(pc);
+                if self.dcache.tags[slot] == pc {
+                    let instr = self.dcache.instrs[slot];
+                    if mode != FetchMode::Peek
+                        && !self.icoal.note(pc & self.icoal.line_mask)
+                    {
+                        // Untracked line: take the full fetch-count path.
+                        self.count_instr_fetch(pc, mode);
+                    }
+                    return Ok(instr);
+                }
+            }
+        }
+        let mut bytes = [0u8; INSTR_BYTES];
+        self.mem.fetch(pc, &mut bytes).map_err(FetchFail::Mem)?;
+        if mode != FetchMode::Peek {
+            self.count_instr_fetch(pc, mode);
+        }
+        let instr = Instr::decode(&bytes).map_err(|_| FetchFail::Decode)?;
+        if fast {
+            let slot = DecodeCache::slot(pc);
+            self.dcache.tags[slot] = pc;
+            self.dcache.instrs[slot] = instr;
+        }
+        Ok(instr)
+    }
+
+    /// Instruction-cache access for a fetch at `pc`.
+    ///
+    /// Fast path: fetches on a line the coalescer tracks are L1i hits by
+    /// construction (tracked lines stay resident — only hits happen
+    /// between batch applications, and hits never evict), so they bypass
+    /// the cache model entirely and coalesce into deferred bulk-hits.
+    /// An untracked-but-resident line joins the table via a read-only
+    /// probe; a genuine miss applies the batch, runs the real access,
+    /// and (for architectural fetches) pays the miss latency immediately
+    /// since it orders the rest of the step. Non-coalesced L1i counter
+    /// updates are batched into `pend_l1i`.
+    ///
+    /// Slow path: the seed implementation — a full cache-model access
+    /// and immediate PMU increments per fetch.
+    fn count_instr_fetch(&mut self, pc: u64, mode: FetchMode) {
+        if self.cfg.fast_path {
+            let line = pc & self.icoal.line_mask;
+            // One counter bump covers the model hit and both PMU
+            // events; the split happens at apply/flush time.
+            if self.icoal.note(line) {
+                return;
+            }
+            let mut slot = self.icoal.free_slot();
+            if slot.is_none() {
+                self.apply_pending_ifetches();
+                slot = Some(0);
+            }
+            if self.caches.l1i_probe(line) {
+                self.icoal.insert_hit(slot.expect("slot freed above"), line);
+                return;
+            }
+            self.apply_pending_ifetches();
+            let fetch = self.caches.access_instr(pc);
+            self.icoal.insert_seeded(0, line);
+            bump(&self.pend_l1i[0]);
+            if fetch.l1_hit {
+                bump(&self.pend_l1i[1]);
+            } else {
+                bump(&self.pend_l1i[2]);
+                if mode == FetchMode::Step {
+                    self.tick(fetch.latency);
+                }
+            }
+        } else {
+            let fetch = self.caches.access_instr(pc);
+            self.pmu.incr(HpcEvent::L1iAccess);
+            if fetch.l1_hit {
+                self.pmu.incr(HpcEvent::L1iHit);
+            } else {
+                self.pmu.incr(HpcEvent::L1iMiss);
+                if mode == FetchMode::Step {
+                    self.tick(fetch.latency);
+                }
+            }
+        }
+    }
+
+    /// Applies the coalesced same-line fetch hits to the L1i model.
+    /// Must run before anything that could observe or disturb L1i state:
+    /// a different-line fetch, a line flush, a microarchitectural reset,
+    /// telemetry emission, handing out `&mut CacheHierarchy`, or the
+    /// machine stopping.
+    fn apply_pending_ifetches(&mut self) {
+        let (entries, n, total, accounted) = self.icoal.drain();
+        if total > 0 {
+            self.caches.l1i_bulk_batch(&entries[..n], total);
+            // Only the portion a PMU flush has not already mirrored.
+            let unaccounted = total - accounted;
+            if unaccounted > 0 {
+                self.pmu.add(HpcEvent::L1iAccess, unaccounted);
+                self.pmu.add(HpcEvent::L1iHit, unaccounted);
+            }
+        }
+    }
+
+    /// Applies the coalesced data hits to the L1d model — the data-side
+    /// counterpart of [`Machine::apply_pending_ifetches`], with the same
+    /// ordering obligations.
+    fn apply_pending_dfetches(&mut self) {
+        let (entries, n, total, accounted) = self.dcoal.drain();
+        if total > 0 {
+            self.caches.l1d_bulk_batch(&entries[..n], total);
+            let unaccounted = total - accounted;
+            if unaccounted > 0 {
+                self.pmu.add(HpcEvent::L1dAccess, unaccounted);
+                self.pmu.add(HpcEvent::L1dHit, unaccounted);
+                self.pmu.add(HpcEvent::TotalCacheAccess, unaccounted);
+            }
+        }
+    }
+
+    /// Mirrors the batched counters into the PMU: pending L1i counts plus
+    /// the cycle and retired-instruction deltas since the previous flush.
+    /// Runs whenever the PMU is observed ([`Machine::pmu`]) and at
+    /// speculation squash, so PMU readers sampling between steps always
+    /// see exact totals. `&self` (over `Cell` state) so the observation
+    /// accessor can reconcile.
+    fn flush_pending_counters(&self) {
+        // Coalesced same-line hits not yet applied to the cache model:
+        // mirror the PMU-visible portion now and remember how much, so the
+        // eventual apply only adds the remainder.
+        let delta = self.icoal.pending.get() - self.icoal.accounted.get();
+        if delta > 0 {
+            self.pmu.add(HpcEvent::L1iAccess, delta);
+            self.pmu.add(HpcEvent::L1iHit, delta);
+            self.icoal.accounted.set(self.icoal.pending.get());
+        }
+        let delta = self.dcoal.pending.get() - self.dcoal.accounted.get();
+        if delta > 0 {
+            self.pmu.add(HpcEvent::L1dAccess, delta);
+            self.pmu.add(HpcEvent::L1dHit, delta);
+            self.pmu.add(HpcEvent::TotalCacheAccess, delta);
+            self.dcoal.accounted.set(self.dcoal.pending.get());
+        }
+        let access = self.pend_l1i[0].replace(0);
+        if access > 0 {
+            self.pmu.add(HpcEvent::L1iAccess, access);
+            self.pmu.add(HpcEvent::L1iHit, self.pend_l1i[1].replace(0));
+            self.pmu.add(HpcEvent::L1iMiss, self.pend_l1i[2].replace(0));
+        }
+        if self.cycle > self.cycles_flushed.get() {
+            self.pmu.add(HpcEvent::Cycles, self.cycle - self.cycles_flushed.get());
+            self.cycles_flushed.set(self.cycle);
+        }
+        if self.retired > self.instrs_flushed.get() {
+            self.pmu.add(HpcEvent::Instructions, self.retired - self.instrs_flushed.get());
+            self.instrs_flushed.set(self.retired);
+        }
+    }
+
+    fn sync_eviction_counter(&self) {
         let total = self.caches.total_evictions();
-        let delta = total - self.last_evictions;
+        let delta = total - self.last_evictions.get();
         if delta > 0 {
             self.pmu.add(HpcEvent::CacheEvictions, delta);
-            self.last_evictions = total;
+            self.last_evictions.set(total);
         }
     }
 
     fn stop(&mut self, exit: ExitReason) -> StepStatus {
+        self.apply_pending_ifetches();
+        self.apply_pending_dfetches();
         self.stopped = Some(exit.clone());
         StepStatus::Done(exit)
     }
@@ -545,9 +984,17 @@ impl Machine {
         self.stop(ExitReason::Fault(fault))
     }
 
+    /// Advances time. On the fast path the [`HpcEvent::Cycles`] mirror is
+    /// updated lazily by [`Machine::flush_pending_counters`] when the PMU
+    /// is next observed; the slow path mirrors immediately, like the
+    /// reference implementation always did.
+    #[inline]
     fn tick(&mut self, n: u64) {
         self.cycle += n;
-        self.pmu.add(HpcEvent::Cycles, n);
+        if !self.cfg.fast_path {
+            self.pmu.add(HpcEvent::Cycles, n);
+            self.cycles_flushed.set(self.cycle);
+        }
     }
 
     /// Stalls until every register in `rs` holds a ready value.
@@ -589,14 +1036,57 @@ impl Machine {
         }
     }
 
+    /// Data-cache access for a load or store at `addr` (the data-side
+    /// counterpart of [`Machine::count_instr_fetch`]).
+    ///
+    /// Fast path: accesses to a line the coalescer tracks are L1d hits
+    /// by construction (tracked lines stay resident until the batch is
+    /// applied), so they coalesce into deferred bulk-hits with the
+    /// model's constant L1d hit latency. An untracked-but-resident line
+    /// joins the table via a read-only probe; a genuine miss applies the
+    /// batch and runs the real access.
+    ///
+    /// Slow path: the seed implementation — a full cache-model access and
+    /// immediate PMU increments per access.
+    fn data_access(&mut self, addr: u64, write: bool) -> crate::cache::AccessResult {
+        if self.cfg.fast_path {
+            let hit = crate::cache::AccessResult {
+                latency: self.l1d_hit_latency,
+                l1_hit: true,
+                l2_hit: false,
+            };
+            let line = addr & self.dcoal.line_mask;
+            if self.dcoal.note(line) {
+                return hit;
+            }
+            let mut slot = self.dcoal.free_slot();
+            if slot.is_none() {
+                self.apply_pending_dfetches();
+                slot = Some(0);
+            }
+            if self.caches.l1d_probe(line) {
+                self.dcoal.insert_hit(slot.expect("slot freed above"), line);
+                return hit;
+            }
+            self.apply_pending_dfetches();
+            let result = self.caches.access_data(addr);
+            self.dcoal.insert_seeded(0, line);
+            self.count_data_access(result, write);
+            result
+        } else {
+            let result = self.caches.access_data(addr);
+            self.count_data_access(result, write);
+            result
+        }
+    }
+
     fn load_value(&mut self, addr: u64, width: Width) -> Result<(u64, u64), Fault> {
         let value = match width {
             Width::B => self.mem.read_u8(addr)? as u64,
             Width::W => self.mem.read_u32(addr)? as u64,
             Width::D => self.mem.read_u64(addr)?,
         };
-        let result = self.caches.access_data(addr);
-        self.count_data_access(result, false);
+        let result = self.data_access(addr, false);
         Ok((value, result.latency))
     }
 
@@ -606,8 +1096,7 @@ impl Machine {
             Width::W => self.mem.write_u32(addr, value as u32)?,
             Width::D => self.mem.write_u64(addr, value)?,
         }
-        let result = self.caches.access_data(addr);
-        self.count_data_access(result, true);
+        self.data_access(addr, true);
         Ok(())
     }
 
@@ -873,6 +1362,8 @@ impl Machine {
                 }
                 self.wait_ready(&[rs1]);
                 let addr = self.regs[rs1.index()].wrapping_add(imm as i64 as u64);
+                self.apply_pending_ifetches();
+                self.apply_pending_dfetches();
                 self.caches.flush_line(addr);
                 self.pmu.incr(HpcEvent::Flushes);
                 self.tick(4);
@@ -1024,27 +1515,25 @@ impl Machine {
         let mut pc = start;
         let mut scycle: u64 = 0;
         let mut instrs: u64 = 0;
+        // Spec-event counts accumulate locally and flush once at squash —
+        // the PMU is only ever observed between architectural steps.
+        let mut loads: u64 = 0;
+        let mut stores: u64 = 0;
+        let mut suppressed: u64 = 0;
         let window = self.cfg.spec_window;
         while scycle < budget && instrs < window {
-            let mut bytes = [0u8; INSTR_BYTES];
-            if self.mem.fetch(pc, &mut bytes).is_err() {
-                self.pmu.incr(HpcEvent::SpecFaultsSuppressed);
-                break;
-            }
-            // Transient fetches still fill the instruction cache.
-            let fr = self.caches.access_instr(pc);
-            self.pmu.incr(HpcEvent::L1iAccess);
-            if fr.l1_hit {
-                self.pmu.incr(HpcEvent::L1iHit);
-            } else {
-                self.pmu.incr(HpcEvent::L1iMiss);
-            }
-            let instr = match Instr::decode(&bytes) {
-                Ok(i) => i,
-                Err(_) => break,
+            // Transient fetches still fill the instruction cache
+            // (`FetchMode::Spec`); a fetch fault is suppressed, a decode
+            // failure just ends the transient path.
+            let instr = match self.fetch_decode(pc, FetchMode::Spec) {
+                Ok(instr) => instr,
+                Err(FetchFail::Mem(_)) => {
+                    suppressed += 1;
+                    break;
+                }
+                Err(FetchFail::Decode) => break,
             };
             instrs += 1;
-            self.pmu.incr(HpcEvent::SpecInstrs);
             let mut next_pc = pc.wrapping_add(INSTR_BYTES as u64);
             let wait = |ready: &[u64; 16], rs: &[Reg]| -> u64 {
                 rs.iter().map(|r| ready[r.index()]).max().unwrap_or(0)
@@ -1084,12 +1573,12 @@ impl Machine {
                     let addr = regs[rs1.index()].wrapping_add(imm as i64 as u64);
                     match self.spec_load(addr, w, &store_buf) {
                         Some((value, latency)) => {
-                            self.pmu.incr(HpcEvent::SpecLoads);
+                            loads += 1;
                             regs[rd.index()] = value;
                             ready[rd.index()] = scycle + latency;
                         }
                         None => {
-                            self.pmu.incr(HpcEvent::SpecFaultsSuppressed);
+                            suppressed += 1;
                             break;
                         }
                     }
@@ -1105,10 +1594,9 @@ impl Machine {
                     // The line is still brought into the cache (RFO) —
                     // unless InvisiSpec keeps speculation invisible.
                     if !self.cfg.protect.invisispec {
-                        let result = self.caches.access_data(addr);
-                        self.count_data_access(result, true);
+                        self.data_access(addr, true);
                     }
-                    self.pmu.incr(HpcEvent::SpecStores);
+                    stores += 1;
                 }
                 Instr::Br(cond, rs1, rs2, imm) => {
                     // Inside speculation we simply follow the (possibly
@@ -1155,7 +1643,7 @@ impl Machine {
                             next_pc = target;
                         }
                         None => {
-                            self.pmu.incr(HpcEvent::SpecFaultsSuppressed);
+                            suppressed += 1;
                             break;
                         }
                     }
@@ -1177,7 +1665,7 @@ impl Machine {
                             ready[rd.index()] = scycle + latency;
                         }
                         None => {
-                            self.pmu.incr(HpcEvent::SpecFaultsSuppressed);
+                            suppressed += 1;
                             break;
                         }
                     }
@@ -1189,6 +1677,8 @@ impl Machine {
                     scycle = scycle.max(wait(&ready, &[rs1]));
                     // Flushes are microarchitectural: they persist.
                     let addr = regs[rs1.index()].wrapping_add(imm as i64 as u64);
+                    self.apply_pending_ifetches();
+                    self.apply_pending_dfetches();
                     self.caches.flush_line(addr);
                 }
             }
@@ -1198,7 +1688,14 @@ impl Machine {
         if instrs >= window {
             self.pmu.incr(HpcEvent::SpecWindowExhausted);
         }
+        self.pmu.add(HpcEvent::SpecInstrs, instrs);
+        self.pmu.add(HpcEvent::SpecLoads, loads);
+        self.pmu.add(HpcEvent::SpecStores, stores);
+        self.pmu.add(HpcEvent::SpecFaultsSuppressed, suppressed);
         self.pmu.incr(HpcEvent::SpecSquashes);
+        // A squash is a public boundary (`speculate_at`), so the batched
+        // L1i counts must land now, not at the next architectural step.
+        self.flush_pending_counters();
         // Squash: regs/ready/store_buf are dropped; cache + PMU persist.
     }
 
@@ -1222,8 +1719,7 @@ impl Machine {
             return Some((value, result.latency));
         }
         // The microarchitectural side effect that makes Spectre work.
-        let result = self.caches.access_data(addr);
-        self.count_data_access(result, false);
+        let result = self.data_access(addr, false);
         Some((value, result.latency))
     }
 }

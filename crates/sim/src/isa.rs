@@ -424,6 +424,7 @@ impl Instr {
     ///
     /// Returns [`DecodeError`] when the opcode is not assigned, a register
     /// field is out of range, or fewer than [`INSTR_BYTES`] bytes were given.
+    #[inline]
     pub fn decode(bytes: &[u8]) -> Result<Instr, DecodeError> {
         if bytes.len() < INSTR_BYTES {
             return Err(DecodeError { opcode: 0xff });

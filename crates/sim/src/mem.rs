@@ -6,6 +6,7 @@
 //! not carry `Perms::X`", which is why the attack must reuse existing
 //! code (ROP) instead of injecting new code.
 
+use std::cell::Cell;
 use std::fmt;
 
 /// Page size used for the permission table, in bytes.
@@ -102,7 +103,27 @@ impl std::error::Error for MemFault {}
 pub struct Memory {
     bytes: Vec<u8>,
     page_perms: Vec<Perms>,
+    /// When set, single-page accesses revalidate against [`Memory::last_page`]
+    /// instead of walking the permission table. Disabled by the
+    /// `MachineConfig::fast_path` escape hatch.
+    fast_path: bool,
+    /// Index of the last page that passed a permission check, one slot per
+    /// [`AccessKind`] (`Read`, `Write`, `Fetch` in declaration order).
+    /// `u64::MAX` marks an empty slot. Invalidated by [`Memory::set_perms`].
+    last_page: [Cell<u64>; 3],
+    /// Index of a page known to be writable *and not executable*: stores
+    /// there can skip the self-modifying-code scan (no decoded instruction
+    /// can depend on its bytes). `u64::MAX` = none; invalidated by
+    /// [`Memory::set_perms`].
+    nonx_write_page: Cell<u64>,
+    /// Bumped whenever bytes in an executable page may have changed (any
+    /// `poke`, a store into an executable page, or a permission change).
+    /// Consumers caching decoded instructions revalidate against this.
+    code_epoch: u64,
 }
+
+/// Sentinel for an empty [`Memory::last_page`] slot.
+const NO_PAGE: u64 = u64::MAX;
 
 impl Memory {
     /// Creates a memory of `size` bytes (rounded up to a whole page), with
@@ -112,7 +133,29 @@ impl Memory {
         Memory {
             bytes: vec![0; pages * PAGE_SIZE as usize],
             page_perms: vec![Perms::NONE; pages],
+            fast_path: true,
+            last_page: [Cell::new(NO_PAGE), Cell::new(NO_PAGE), Cell::new(NO_PAGE)],
+            nonx_write_page: Cell::new(NO_PAGE),
+            code_epoch: 0,
         }
+    }
+
+    /// Enables or disables the single-page permission cache. Checks always
+    /// fall back to the full page walk when disabled; results are identical
+    /// either way.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+        for slot in &self.last_page {
+            slot.set(NO_PAGE);
+        }
+        self.nonx_write_page.set(NO_PAGE);
+    }
+
+    /// Generation counter for code-bytes mutations: bumped on every `poke`,
+    /// on stores that touch an executable page, and on permission changes.
+    /// Any cache of decoded instructions is stale once this moves.
+    pub fn code_epoch(&self) -> u64 {
+        self.code_epoch
     }
 
     /// Total size in bytes.
@@ -135,6 +178,13 @@ impl Memory {
         for page in &mut self.page_perms[first..=last] {
             *page = perms;
         }
+        // Cached page validations no longer hold, and previously
+        // non-executable bytes may now be fetchable (or vice versa).
+        for slot in &self.last_page {
+            slot.set(NO_PAGE);
+        }
+        self.nonx_write_page.set(NO_PAGE);
+        self.code_epoch += 1;
     }
 
     /// Returns the permissions of the page containing `addr`, or `NONE` for
@@ -146,11 +196,28 @@ impl Memory {
             .unwrap_or(Perms::NONE)
     }
 
+    #[inline]
     fn check(&self, addr: u64, len: u64, kind: AccessKind) -> Result<(), MemFault> {
         if len == 0 {
             return Ok(());
         }
         let end = addr.checked_add(len - 1).ok_or(MemFault { addr, kind })?;
+        // Fast path: the overwhelmingly common access stays within one page
+        // and hits the same page as the previous access of the same kind.
+        // The cached index is only ever a page that passed the full check,
+        // and `set_perms` invalidates it, so a hit needs no further work.
+        if self.fast_path
+            && addr / PAGE_SIZE == end / PAGE_SIZE
+            && self.last_page[kind as usize].get() == addr / PAGE_SIZE
+        {
+            return Ok(());
+        }
+        self.check_slow(addr, end, kind)
+    }
+
+    /// Full page walk over `[addr, end]`; seeds the fast-path cache on a
+    /// successful single-page check.
+    fn check_slow(&self, addr: u64, end: u64, kind: AccessKind) -> Result<(), MemFault> {
         if end >= self.size() {
             return Err(MemFault { addr, kind });
         }
@@ -168,6 +235,9 @@ impl Memory {
             }
             page_addr += PAGE_SIZE;
         }
+        if self.fast_path && addr / PAGE_SIZE == end / PAGE_SIZE {
+            self.last_page[kind as usize].set(addr / PAGE_SIZE);
+        }
         Ok(())
     }
 
@@ -179,8 +249,7 @@ impl Memory {
     /// the range is out of bounds.
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         self.check(addr, buf.len() as u64, AccessKind::Read)?;
-        let a = addr as usize;
-        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        buf.copy_from_slice(self.bytes_at(addr, buf.len()));
         Ok(())
     }
 
@@ -192,6 +261,33 @@ impl Memory {
     /// the range is out of bounds.
     pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemFault> {
         self.check(addr, data.len() as u64, AccessKind::Write)?;
+        if !data.is_empty() {
+            // Self-modifying code: a store into any executable page makes
+            // cached decodes stale. (With DEP on, no page is both W and X,
+            // so this never fires on the hardened configurations.) A store
+            // that stays within a page already proven non-executable can
+            // skip the scan; `set_perms` invalidates the proof.
+            let end = addr + data.len() as u64 - 1;
+            let page = addr / PAGE_SIZE;
+            if !(self.fast_path
+                && page == end / PAGE_SIZE
+                && self.nonx_write_page.get() == page)
+            {
+                let mut page_addr = addr & !(PAGE_SIZE - 1);
+                let mut any_x = false;
+                while page_addr <= end {
+                    if self.perms_at(page_addr).x {
+                        self.code_epoch += 1;
+                        any_x = true;
+                        break;
+                    }
+                    page_addr += PAGE_SIZE;
+                }
+                if self.fast_path && !any_x && page == end / PAGE_SIZE {
+                    self.nonx_write_page.set(page);
+                }
+            }
+        }
         let a = addr as usize;
         self.bytes[a..a + data.len()].copy_from_slice(data);
         Ok(())
@@ -205,9 +301,15 @@ impl Memory {
     /// Returns a [`MemFault`] when the page is not executable.
     pub fn fetch(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         self.check(addr, buf.len() as u64, AccessKind::Fetch)?;
-        let a = addr as usize;
-        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+        buf.copy_from_slice(self.bytes_at(addr, buf.len()));
         Ok(())
+    }
+
+    /// Raw backing-store slice for an in-bounds range; shared by the checked
+    /// accessors (after a permission check) and [`Memory::peek`].
+    #[inline]
+    fn bytes_at(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
     }
 
     /// Reads one byte.
@@ -278,12 +380,29 @@ impl Memory {
     /// Returns a [`MemFault`] on an unreadable byte before the terminator.
     pub fn read_cstr(&self, addr: u64, max: usize) -> Result<Vec<u8>, MemFault> {
         let mut out = Vec::new();
-        for i in 0..max as u64 {
-            let b = self.read_u8(addr + i)?;
-            if b == 0 {
-                break;
+        let mut cur = addr;
+        let mut remaining = max as u64;
+        // Scan page-sized chunks: one permission check per page instead of
+        // one per byte. Pages past the terminator (or past `max`) are never
+        // touched, so a string ending exactly at a page boundary does not
+        // fault on an unreadable next page — same contract as the byte loop.
+        while remaining > 0 {
+            // One byte's check validates its whole page (perms are
+            // page-granular), and a failed check faults at `cur`, the first
+            // unreadable byte — identical to the per-byte scan.
+            self.check(cur, 1, AccessKind::Read)?;
+            let page_end = (cur & !(PAGE_SIZE - 1)) + PAGE_SIZE;
+            let chunk = remaining.min(page_end - cur) as usize;
+            let bytes = self.bytes_at(cur, chunk);
+            match bytes.iter().position(|&b| b == 0) {
+                Some(nul) => {
+                    out.extend_from_slice(&bytes[..nul]);
+                    return Ok(out);
+                }
+                None => out.extend_from_slice(bytes),
             }
-            out.push(b);
+            cur += chunk as u64;
+            remaining -= chunk as u64;
         }
         Ok(out)
     }
@@ -296,6 +415,11 @@ impl Memory {
     pub fn poke(&mut self, addr: u64, data: &[u8]) {
         let a = addr as usize;
         self.bytes[a..a + data.len()].copy_from_slice(data);
+        // A poke bypasses permissions, so it may rewrite code no matter what
+        // the page table says — always treat it as a code mutation.
+        if !data.is_empty() {
+            self.code_epoch += 1;
+        }
     }
 
     /// Reads raw bytes ignoring permissions — loader/debugger use only.
@@ -304,7 +428,7 @@ impl Memory {
     ///
     /// Panics if the range is out of bounds.
     pub fn peek(&self, addr: u64, len: usize) -> &[u8] {
-        &self.bytes[addr as usize..addr as usize + len]
+        self.bytes_at(addr, len)
     }
 }
 
@@ -393,5 +517,84 @@ mod tests {
         mem.poke(0, &[1, 2, 3]);
         assert_eq!(mem.peek(0, 3), &[1, 2, 3]);
         assert!(mem.read_u8(0).is_err(), "architectural access still faults");
+    }
+
+    #[test]
+    fn fast_path_cache_is_invalidated_by_set_perms() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        // Warm the per-kind cache on page 0.
+        assert!(mem.read_u8(8).is_ok());
+        assert!(mem.write_u8(8, 1).is_ok());
+        // Revoking access must not be masked by the cached validation.
+        mem.set_perms(0, PAGE_SIZE, Perms::NONE);
+        assert!(mem.read_u8(8).is_err());
+        assert!(mem.write_u8(8, 1).is_err());
+    }
+
+    #[test]
+    fn fast_path_disabled_matches_enabled() {
+        let build = |fast: bool| {
+            let mut mem = Memory::new(PAGE_SIZE * 2);
+            mem.set_fast_path(fast);
+            mem.set_perms(0, PAGE_SIZE, Perms::RW);
+            mem
+        };
+        let mut fast = build(true);
+        let mut slow = build(false);
+        for addr in [0, 8, PAGE_SIZE - 1, PAGE_SIZE, PAGE_SIZE - 4, u64::MAX] {
+            assert_eq!(fast.read_u8(addr), slow.read_u8(addr), "read at {addr:#x}");
+            assert_eq!(fast.write_u8(addr, 7), slow.write_u8(addr, 7), "write at {addr:#x}");
+            assert_eq!(fast.read_u64(addr), slow.read_u64(addr), "read_u64 at {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn code_epoch_tracks_code_mutations() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        mem.set_perms(PAGE_SIZE, PAGE_SIZE, Perms::RWX);
+        let e0 = mem.code_epoch();
+        // Plain data store: no code could have changed.
+        mem.write_u8(8, 1).unwrap();
+        assert_eq!(mem.code_epoch(), e0);
+        // Store into an executable page: cached decodes are stale.
+        mem.write_u8(PAGE_SIZE, 1).unwrap();
+        assert!(mem.code_epoch() > e0);
+        // Pokes bypass permissions entirely, so every poke counts.
+        let e1 = mem.code_epoch();
+        mem.poke(8, &[0xcc]);
+        assert!(mem.code_epoch() > e1);
+        // Permission changes count too (bytes may become fetchable).
+        let e2 = mem.code_epoch();
+        mem.set_perms(0, PAGE_SIZE, Perms::RX);
+        assert!(mem.code_epoch() > e2);
+    }
+
+    #[test]
+    fn cstr_max_ending_exactly_at_page_boundary() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        // Page 0 readable, page 1 a guard page.
+        mem.set_perms(0, PAGE_SIZE, Perms::RW);
+        mem.write(PAGE_SIZE - 3, b"abc").unwrap();
+        // `max` runs out exactly at the boundary: the unreadable next page
+        // must never be touched.
+        assert_eq!(mem.read_cstr(PAGE_SIZE - 3, 3).unwrap(), b"abc");
+        // One byte more crosses into the guard page and faults there.
+        let err = mem.read_cstr(PAGE_SIZE - 3, 4).unwrap_err();
+        assert_eq!(err, MemFault { addr: PAGE_SIZE, kind: AccessKind::Read });
+        // A terminator on the last byte of the page also stops the scan.
+        mem.write(PAGE_SIZE - 3, b"ab\0").unwrap();
+        assert_eq!(mem.read_cstr(PAGE_SIZE - 3, 64).unwrap(), b"ab");
+    }
+
+    #[test]
+    fn cstr_spans_readable_pages() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        mem.set_perms(0, PAGE_SIZE * 2, Perms::RW);
+        mem.write(PAGE_SIZE - 2, b"spectre\0").unwrap();
+        assert_eq!(mem.read_cstr(PAGE_SIZE - 2, 64).unwrap(), b"spectre");
+        // Zero-length request reads nothing, even from a bad address.
+        assert_eq!(mem.read_cstr(u64::MAX, 0).unwrap(), b"");
     }
 }

@@ -6,6 +6,7 @@
 //! simulator and a [`Pmu`] counter bank with snapshot/delta support used by
 //! the `cr-spectre-hpc` profiler.
 
+use std::cell::Cell;
 use std::fmt;
 use std::ops::{Index, Sub};
 
@@ -290,12 +291,20 @@ impl Sub for PmuSnapshot {
 
 /// The live counter bank.
 ///
+/// Counters use [`Cell`] interior mutability so that shared-reference
+/// observation points can settle lazily batched updates: the simulator's
+/// fast path accumulates hot-loop counts locally and mirrors them into
+/// the bank when the PMU is *read* (`Machine::pmu`), not on every step.
+/// `Cell<u64>` compiles to plain loads and stores, so the counters cost
+/// the same as bare integers; the bank is `Send` but (like the rest of a
+/// `Machine`) not `Sync`.
+///
 /// # Examples
 ///
 /// ```
 /// use cr_spectre_sim::pmu::{HpcEvent, Pmu};
 ///
-/// let mut pmu = Pmu::new();
+/// let pmu = Pmu::new();
 /// pmu.add(HpcEvent::Instructions, 3);
 /// let before = pmu.snapshot();
 /// pmu.add(HpcEvent::Instructions, 2);
@@ -304,38 +313,45 @@ impl Sub for PmuSnapshot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pmu {
-    counts: [u64; HpcEvent::COUNT],
+    counts: [Cell<u64>; HpcEvent::COUNT],
 }
 
 impl Pmu {
     /// Creates a zeroed counter bank.
     pub fn new() -> Pmu {
-        Pmu { counts: [0; HpcEvent::COUNT] }
+        Pmu { counts: [const { Cell::new(0) }; HpcEvent::COUNT] }
     }
 
     /// Increments `event` by one.
-    pub fn incr(&mut self, event: HpcEvent) {
-        self.counts[event.index()] += 1;
+    #[inline]
+    pub fn incr(&self, event: HpcEvent) {
+        let c = &self.counts[event.index()];
+        c.set(c.get() + 1);
     }
 
     /// Adds `n` to `event`.
-    pub fn add(&mut self, event: HpcEvent, n: u64) {
-        self.counts[event.index()] += n;
+    #[inline]
+    pub fn add(&self, event: HpcEvent, n: u64) {
+        let c = &self.counts[event.index()];
+        c.set(c.get() + n);
     }
 
     /// Current value of `event`.
+    #[inline]
     pub fn count(&self, event: HpcEvent) -> u64 {
-        self.counts[event.index()]
+        self.counts[event.index()].get()
     }
 
     /// Copies the current counters into an immutable snapshot.
     pub fn snapshot(&self) -> PmuSnapshot {
-        PmuSnapshot { counts: self.counts }
+        PmuSnapshot { counts: std::array::from_fn(|i| self.counts[i].get()) }
     }
 
     /// Resets every counter to zero.
-    pub fn reset(&mut self) {
-        self.counts = [0; HpcEvent::COUNT];
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.set(0);
+        }
     }
 }
 
@@ -379,7 +395,7 @@ mod tests {
 
     #[test]
     fn snapshot_delta() {
-        let mut pmu = Pmu::new();
+        let pmu = Pmu::new();
         pmu.add(HpcEvent::Cycles, 100);
         pmu.add(HpcEvent::Instructions, 50);
         let a = pmu.snapshot();
@@ -393,7 +409,7 @@ mod tests {
 
     #[test]
     fn delta_saturates_instead_of_underflowing() {
-        let mut pmu = Pmu::new();
+        let pmu = Pmu::new();
         pmu.add(HpcEvent::Cycles, 5);
         let later = pmu.snapshot();
         pmu.reset();
@@ -405,7 +421,7 @@ mod tests {
 
     #[test]
     fn ipc() {
-        let mut pmu = Pmu::new();
+        let pmu = Pmu::new();
         assert_eq!(pmu.snapshot().ipc(), 0.0);
         pmu.add(HpcEvent::Instructions, 300);
         pmu.add(HpcEvent::Cycles, 100);
@@ -414,7 +430,7 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut pmu = Pmu::new();
+        let pmu = Pmu::new();
         pmu.incr(HpcEvent::Flushes);
         pmu.reset();
         assert_eq!(pmu.snapshot(), PmuSnapshot::zero());
