@@ -1,0 +1,270 @@
+//! Perf-regression harness for the HID's flat math core.
+//!
+//! For each classifier family (LR, SVM, MLP, NN, kNN) it measures
+//! **training** and **prediction** throughput in rows/sec, fast path
+//! (flat [`Mat`] storage, batched GEMM prediction) against the seed
+//! baseline kept verbatim in `cr_spectre_hid::reference` — the same
+//! before/after role `fast_path = false` plays for `sim_throughput`.
+//!
+//! The run doubles as an equivalence check: every family's fast batch
+//! predictions must equal the reference model's per-row predictions
+//! exactly (the full bit-identity contract is locked by
+//! `crates/hid/tests/fastmath_equivalence.rs`).
+//!
+//! Flags on top of the usual set: `--quick` (smaller corpus, fewer
+//! reps) and `--out PATH` (default `BENCH_hid.json`).
+//!
+//! Run with `cargo run --release -p cr-spectre-bench --bin hid_throughput`.
+
+use std::time::Instant;
+
+use cr_spectre_bench::BenchOpts;
+use cr_spectre_hid::detector::Detector;
+use cr_spectre_hid::linalg::Mat;
+use cr_spectre_hid::reference::{RefDenseNet, RefKnn, RefLinearSvm, RefLogisticRegression};
+use cr_spectre_hid::{DenseNet, Knn, LinearSvm, LogisticRegression};
+
+/// One measured configuration: rows pushed through per wall-clock second.
+struct Throughput {
+    rows: u64,
+    wall_s: f64,
+}
+
+impl Throughput {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.wall_s
+    }
+}
+
+/// Deterministic two-cluster dataset, the shape of normalized counter
+/// windows (fig5 scale by default).
+fn clusters(n: usize, dim: usize, sep: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 1000.0 - 1.0
+    };
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = (i % 2) as u8;
+        let center = if label == 1 { sep } else { -sep };
+        x.push((0..dim).map(|_| center + next()).collect());
+        y.push(label);
+    }
+    (x, y)
+}
+
+/// Best-of-`reps` training throughput of a freshly built model per rep.
+fn measure_train(
+    build: &dyn Fn() -> Box<dyn Detector>,
+    x: &[Vec<f64>],
+    y: &[u8],
+    reps: u32,
+) -> Throughput {
+    let mut warm = build();
+    warm.fit(x, y); // warmup
+    let mut best: Option<Throughput> = None;
+    for _ in 0..reps {
+        let mut model = build();
+        let t0 = Instant::now();
+        model.fit(x, y);
+        let wall = t0.elapsed().as_secs_f64();
+        let t = Throughput { rows: x.len() as u64, wall_s: wall };
+        if best.as_ref().is_none_or(|b| t.rows_per_sec() > b.rows_per_sec()) {
+            best = Some(t);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Best-of-`reps` prediction throughput: `passes` full sweeps over the
+/// corpus per rep. The fast model scores through `predict_batch` over
+/// flat storage; the baseline through the seed's per-row `predict`.
+fn measure_predict(
+    model: &dyn Detector,
+    x: &[Vec<f64>],
+    mat: Option<&Mat>,
+    passes: u32,
+    reps: u32,
+) -> Throughput {
+    let mut best: Option<Throughput> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut flagged = 0usize;
+        for _ in 0..passes {
+            match mat {
+                Some(m) => flagged += model.predict_batch(m).iter().filter(|&&p| p == 1).count(),
+                None => flagged += x.iter().filter(|row| model.predict(row) == 1).count(),
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        std::hint::black_box(flagged);
+        let t = Throughput { rows: (x.len() as u64) * u64::from(passes), wall_s: wall };
+        if best.as_ref().is_none_or(|b| t.rows_per_sec() > b.rows_per_sec()) {
+            best = Some(t);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn json_entry(t: &Throughput) -> String {
+    format!(
+        "{{\"rows_per_sec\": {:.1}, \"rows\": {}, \"wall_s\": {:.6}}}",
+        t.rows_per_sec(),
+        t.rows,
+        t.wall_s
+    )
+}
+
+struct FamilyResult {
+    name: &'static str,
+    train_fast: Throughput,
+    train_base: Throughput,
+    predict_fast: Throughput,
+    predict_base: Throughput,
+}
+
+impl FamilyResult {
+    fn train_speedup(&self) -> f64 {
+        self.train_fast.rows_per_sec() / self.train_base.rows_per_sec()
+    }
+
+    fn predict_speedup(&self) -> f64 {
+        self.predict_fast.rows_per_sec() / self.predict_base.rows_per_sec()
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "  \"{}\": {{\n    \"train\": {{\"fast\": {}, \"baseline\": {}, \"speedup\": {:.3}}},\n    \
+             \"predict\": {{\"fast\": {}, \"baseline\": {}, \"speedup\": {:.3}}}\n  }}",
+            self.name,
+            json_entry(&self.train_fast),
+            json_entry(&self.train_base),
+            self.train_speedup(),
+            json_entry(&self.predict_fast),
+            json_entry(&self.predict_base),
+            self.predict_speedup(),
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_family(
+    opts: &BenchOpts,
+    name: &'static str,
+    build_fast: &dyn Fn() -> Box<dyn Detector>,
+    build_base: &dyn Fn() -> Box<dyn Detector>,
+    x: &[Vec<f64>],
+    y: &[u8],
+    passes: u32,
+    reps: u32,
+) -> FamilyResult {
+    let mat = Mat::from_rows(x);
+    let train_fast = measure_train(build_fast, x, y, reps);
+    let train_base = measure_train(build_base, x, y, reps);
+
+    let mut fast = build_fast();
+    fast.fit(x, y);
+    let mut base = build_base();
+    base.fit(x, y);
+    // Before/after must agree before the numbers mean anything.
+    let fast_pred = fast.predict_batch(&mat);
+    let base_pred: Vec<u8> = x.iter().map(|row| base.predict(row)).collect();
+    assert_eq!(fast_pred, base_pred, "{name}: fast and baseline predictions diverge");
+
+    let predict_fast = measure_predict(fast.as_ref(), x, Some(&mat), passes, reps);
+    let predict_base = measure_predict(base.as_ref(), x, None, passes, reps);
+    let result = FamilyResult { name, train_fast, train_base, predict_fast, predict_base };
+    opts.note(&format!(
+        "  {name:<4} train {:>10.0} -> {:>10.0} rows/s ({:.2}x)   predict {:>10.0} -> {:>10.0} rows/s ({:.2}x)",
+        result.train_base.rows_per_sec(),
+        result.train_fast.rows_per_sec(),
+        result.train_speedup(),
+        result.predict_base.rows_per_sec(),
+        result.predict_fast.rows_per_sec(),
+        result.predict_speedup(),
+    ));
+    result
+}
+
+fn main() {
+    let opts = BenchOpts::parse();
+    opts.init_telemetry();
+    let mut out_path = String::from("BENCH_hid.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            out_path = args.next().unwrap_or_else(|| panic!("--out needs a path"));
+        }
+    }
+
+    // fig5 scale (800 × 4) at full size; --quick shrinks the corpus and
+    // the rep counts but keeps every family and both directions.
+    let (n, passes, reps) = if opts.quick { (240, 20, 2) } else { (800, 50, 3) };
+    let (x, y) = clusters(n, 4, 1.5, 0xb1d0);
+
+    opts.note(&format!("HID math-core throughput, {n} rows x 4 features:"));
+    type Build = dyn Fn() -> Box<dyn Detector>;
+    let families: [(&'static str, Box<Build>, Box<Build>); 5] = [
+        (
+            "LR",
+            Box::new(|| Box::new(LogisticRegression::new()) as Box<dyn Detector>),
+            Box::new(|| Box::new(RefLogisticRegression::new()) as Box<dyn Detector>),
+        ),
+        (
+            "SVM",
+            Box::new(|| Box::new(LinearSvm::new()) as Box<dyn Detector>),
+            Box::new(|| Box::new(RefLinearSvm::new()) as Box<dyn Detector>),
+        ),
+        (
+            "MLP",
+            Box::new(|| Box::new(DenseNet::mlp()) as Box<dyn Detector>),
+            Box::new(|| Box::new(RefDenseNet::mlp()) as Box<dyn Detector>),
+        ),
+        (
+            "NN",
+            Box::new(|| Box::new(DenseNet::nn6()) as Box<dyn Detector>),
+            Box::new(|| Box::new(RefDenseNet::nn6()) as Box<dyn Detector>),
+        ),
+        (
+            "kNN",
+            Box::new(|| Box::new(Knn::new()) as Box<dyn Detector>),
+            Box::new(|| Box::new(RefKnn::new()) as Box<dyn Detector>),
+        ),
+    ];
+
+    let results: Vec<FamilyResult> = families
+        .iter()
+        .map(|(name, fast, base)| {
+            measure_family(&opts, name, fast.as_ref(), base.as_ref(), &x, &y, passes, reps)
+        })
+        .collect();
+
+    let body: Vec<String> = results.iter().map(FamilyResult::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hid_throughput\",\n  \"quick\": {},\n  \"rows\": {},\n  \"dim\": 4,\n{}\n}}\n",
+        opts.quick,
+        n,
+        body.join(",\n"),
+    );
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("cannot write {out_path:?}: {e}"));
+
+    for r in &results {
+        println!(
+            "{}: train {:.0} -> {:.0} rows/s ({:.2}x), predict {:.0} -> {:.0} rows/s ({:.2}x)",
+            r.name,
+            r.train_base.rows_per_sec(),
+            r.train_fast.rows_per_sec(),
+            r.train_speedup(),
+            r.predict_base.rows_per_sec(),
+            r.predict_fast.rows_per_sec(),
+            r.predict_speedup(),
+        );
+    }
+    println!("wrote {out_path}");
+    opts.finish();
+}

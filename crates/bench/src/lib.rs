@@ -14,7 +14,11 @@
 //!   covert-channel stride, perturbation delay, feature composition);
 //! * `sim_throughput` — perf-regression harness for the execution fast
 //!   path: guest MIPS fast vs. slow on a fixed instruction mix and the
-//!   fig5 smoke campaign, written to `BENCH_sim.json`.
+//!   fig5 smoke campaign, written to `BENCH_sim.json`;
+//! * `hid_throughput` — perf-regression harness for the HID's flat math
+//!   core: train/predict rows per second per classifier family, fast
+//!   (flat `Mat` + batched GEMM) vs. the seed reference
+//!   implementations, written to `BENCH_hid.json`.
 //!
 //! Run with `cargo run --release -p cr-spectre-bench --bin fig5`.
 

@@ -422,16 +422,24 @@ pub fn fig5(cfg: &CampaignConfig) -> EvasionResult {
         (spectre_rows, cr_rows)
     });
 
+    // Scoring fans out per detector: each worker runs one trained HID
+    // over every attempt's rows (batched classification inside
+    // `detection_rate`). Each rate depends only on (hid, rows), so the
+    // fan-out is bit-identical to the old serial double loop.
     let _score_phase = telemetry::span("fig5.score");
+    let scored = par_map_indices(hids.len(), cfg.threads, |h| {
+        let hid = &hids[h];
+        let spectre: Vec<f64> =
+            per_attempt.iter().map(|(rows, _)| hid.detection_rate(rows)).collect();
+        let cr: Vec<f64> =
+            per_attempt.iter().map(|(_, rows)| hid.detection_rate(rows)).collect();
+        (spectre, cr)
+    });
     let mut spectre_series = init_series();
     let mut cr_series = init_series();
-    for (spectre_rows, cr_rows) in &per_attempt {
-        for (series, hid) in spectre_series.iter_mut().zip(&hids) {
-            series.accuracy.push(hid.detection_rate(spectre_rows));
-        }
-        for (series, hid) in cr_series.iter_mut().zip(&hids) {
-            series.accuracy.push(hid.detection_rate(cr_rows));
-        }
+    for (h, (spectre, cr)) in scored.into_iter().enumerate() {
+        spectre_series[h].accuracy = spectre;
+        cr_series[h].accuracy = cr;
     }
     EvasionResult { spectre: spectre_series, cr_spectre: cr_series }
 }
@@ -451,11 +459,11 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
     noise.apply(&mut training.x, cfg.seed, streams::FIG6_TRAIN);
     drop(phase);
 
-    // Panel (a): online HIDs vs plain Spectre. The detectors retrain on
-    // every attempt, so scoring is a serial fold — but the attempts'
-    // *simulations* do not depend on the detectors, so all attack traces
-    // fan out in parallel first.
-    let mut hids: Vec<Hid> = par_map(HidKind::ALL.to_vec(), cfg.threads, |kind| {
+    // Panel (a): online HIDs vs plain Spectre. Each detector's
+    // score-then-retrain chain over the attempts is a serial fold, but
+    // the four detectors never read each other's state — so the attack
+    // traces fan out first, then each detector folds on its own worker.
+    let hids: Vec<Hid> = par_map(HidKind::ALL.to_vec(), cfg.threads, |kind| {
         Hid::train(kind, HidMode::Online, training.clone())
     });
     let attempt_rows = par_map_indices(cfg.attempts, cfg.threads, |attempt| {
@@ -469,12 +477,17 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
     });
     let spectre_score_phase = telemetry::span("fig6.score_spectre");
     let mut spectre_series = init_series();
-    for rows in &attempt_rows {
-        for (series, hid) in spectre_series.iter_mut().zip(&mut hids) {
-            series.accuracy.push(hid.detection_rate(rows));
+    let folded = par_map(hids, cfg.threads, |mut hid| {
+        let mut accuracy = Vec::with_capacity(attempt_rows.len());
+        for rows in &attempt_rows {
+            accuracy.push(hid.detection_rate(rows));
             // The defender labels the observed windows and retrains.
             hid.observe(rows, Label::Attack);
         }
+        accuracy
+    });
+    for (series, accuracy) in spectre_series.iter_mut().zip(folded) {
+        series.accuracy = accuracy;
     }
     drop(spectre_score_phase);
 
@@ -514,17 +527,13 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
             .flatten()
             .collect();
         noise.apply(&mut benign_rows, cfg.seed, streams::FIG6_BENIGN + attempt as u64);
-        let mut detected_by_any = false;
-        let mut evaded_by_all = true;
-        for (series, hid) in cr_series.iter_mut().zip(&mut hids) {
+        // Each detector scores and retrains on its own worker: its rate
+        // and corpus update depend only on (hid, rows, benign_rows),
+        // never on a sibling detector. The adaptation decision
+        // aggregates the returned rates in family order afterwards, so
+        // the variant chain is unchanged at any thread count.
+        let scored = par_map(std::mem::take(&mut hids), cfg.threads, |mut hid| {
             let rate = hid.detection_rate(&rows);
-            series.accuracy.push(rate);
-            if Hid::detected(rate) {
-                detected_by_any = true;
-            }
-            if !Hid::evaded(rate) {
-                evaded_by_all = false;
-            }
             // The defender can only label what it (or the human in the
             // loop) actually flags. A detected or suspicious run (> 55 %)
             // is investigated and retrained as attack; a run the HID
@@ -538,6 +547,19 @@ pub fn fig6(cfg: &CampaignConfig) -> EvasionResult {
             }
             hid.ingest(&benign_rows, Label::Benign);
             hid.retrain();
+            (rate, hid)
+        });
+        let mut detected_by_any = false;
+        let mut evaded_by_all = true;
+        for (series, (rate, hid)) in cr_series.iter_mut().zip(scored) {
+            series.accuracy.push(rate);
+            if Hid::detected(rate) {
+                detected_by_any = true;
+            }
+            if !Hid::evaded(rate) {
+                evaded_by_all = false;
+            }
+            hids.push(hid);
         }
         trial_span.field("detected", detected_by_any).field("evaded", evaded_by_all);
         if detected_by_any || !evaded_by_all {

@@ -5,6 +5,7 @@ use cr_spectre_hpc::dataset::Dataset;
 use cr_spectre_hpc::features::Normalizer;
 use cr_spectre_telemetry as telemetry;
 
+use crate::linalg::Mat;
 use crate::logreg::LogisticRegression;
 use crate::net::DenseNet;
 use crate::svm::LinearSvm;
@@ -32,21 +33,56 @@ pub trait Detector: std::fmt::Debug + Send + Sync {
     /// Implementations panic on empty or inconsistent inputs.
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]);
 
+    /// (Re)trains from a flat row-major matrix — the allocation-free
+    /// path the deployed [`Hid`] uses. The default unboxes into jagged
+    /// rows and delegates to [`Detector::fit`]; the built-in model
+    /// families override it with implementations that never leave flat
+    /// storage.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on empty or inconsistent inputs.
+    fn fit_mat(&mut self, x: &Mat, y: &[u8]) {
+        let rows: Vec<Vec<f64>> = x.iter_rows().map(<[f64]>::to_vec).collect();
+        self.fit(&rows, y);
+    }
+
     /// Classifies one feature row (0 = benign, 1 = attack).
     fn predict(&self, row: &[f64]) -> u8;
 
-    /// Fraction of rows classified correctly.
+    /// Classifies every row of a flat matrix.
+    ///
+    /// The default is the per-row loop, correct for any custom
+    /// detector; the built-in families override it with whole-batch
+    /// (GEMM / buffer-reusing) implementations that are bit-identical
+    /// to the per-row path.
+    fn predict_batch(&self, x: &Mat) -> Vec<u8> {
+        x.iter_rows().map(|row| self.predict(row)).collect()
+    }
+
+    /// Fraction of rows classified correctly (routed through
+    /// [`Detector::predict_batch`]).
     fn accuracy(&self, x: &[Vec<f64>], y: &[u8]) -> f64 {
         assert_eq!(x.len(), y.len(), "features/labels mismatch");
         if x.is_empty() {
             return 0.0;
         }
-        let correct = x
+        self.accuracy_mat(&Mat::from_rows(x), y)
+    }
+
+    /// [`Detector::accuracy`] over a flat matrix.
+    fn accuracy_mat(&self, x: &Mat, y: &[u8]) -> f64 {
+        assert_eq!(x.rows(), y.len(), "features/labels mismatch");
+        if x.rows() == 0 {
+            return 0.0;
+        }
+        let correct = self
+            .predict_batch(x)
             .iter()
             .zip(y)
-            .filter(|(row, &label)| self.predict(row) == label)
+            .filter(|(p, l)| p == l)
             .count();
-        correct as f64 / x.len() as f64
+        correct as f64 / x.rows() as f64
     }
 }
 
@@ -133,9 +169,8 @@ impl Hid {
             .field("rows", training.len());
         let normalizer = Normalizer::fit(&training.x);
         let mut model = kind.build();
-        let mut x = training.x.clone();
-        normalizer.apply_all(&mut x);
-        model.fit(&x, &training.y);
+        let x = normalized_mat(&normalizer, &training);
+        fit_timed(model.as_mut(), &x, &training.y);
         let initial_len = training.len();
         Hid {
             kind,
@@ -173,16 +208,30 @@ impl Hid {
         self.model.predict(&r)
     }
 
+    /// Classifies a batch of raw counter rows through the flat fast
+    /// path: one contiguous normalization pass, then the model's
+    /// whole-batch predictor. Bit-identical to calling
+    /// [`Hid::classify`] per row.
+    pub fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<u8> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let mut flat = cr_spectre_hpc::dataset::FlatMatrix::from_rows(rows);
+        self.normalizer.apply_flat(&mut flat);
+        let (data, n, dim) = flat.into_parts();
+        self.model.predict_batch(&Mat::from_vec(data, n, dim))
+    }
+
     /// Overall accuracy on a labelled raw dataset (Figure 4's metric).
     pub fn test_accuracy(&self, test: &Dataset) -> f64 {
         if test.is_empty() {
             return 0.0;
         }
-        let correct = test
-            .x
+        let correct = self
+            .classify_batch(&test.x)
             .iter()
             .zip(&test.y)
-            .filter(|(row, &label)| self.classify(row) == label)
+            .filter(|(p, l)| p == l)
             .count();
         correct as f64 / test.len() as f64
     }
@@ -193,7 +242,8 @@ impl Hid {
         if attack_rows.is_empty() {
             return 0.0;
         }
-        let hits = attack_rows.iter().filter(|r| self.classify(r) == 1).count();
+        let hits =
+            self.classify_batch(attack_rows).iter().filter(|&&p| p == 1).count();
         hits as f64 / attack_rows.len() as f64
     }
 
@@ -235,7 +285,7 @@ impl Hid {
         if self.mode == HidMode::Offline {
             return;
         }
-        let labels: Vec<u8> = rows.iter().map(|r| self.classify(r)).collect();
+        let labels = self.classify_batch(rows);
         for (row, label) in rows.iter().zip(labels) {
             let label = if label == 1 {
                 cr_spectre_hpc::dataset::Label::Attack
@@ -262,14 +312,41 @@ impl Hid {
             self.corpus.y.drain(self.initial_len..self.initial_len + drop);
         }
         self.normalizer = Normalizer::fit(&self.corpus.x);
-        let mut x = self.corpus.x.clone();
-        self.normalizer.apply_all(&mut x);
-        self.model.fit(&x, &self.corpus.y);
+        let x = normalized_mat(&self.normalizer, &self.corpus);
+        fit_timed(self.model.as_mut(), &x, &self.corpus.y);
     }
 
     /// Current training-corpus size (grows only in online mode).
     pub fn corpus_len(&self) -> usize {
         self.corpus.len()
+    }
+}
+
+/// Normalizes a corpus into the flat matrix the fast-path trainers
+/// consume: one contiguous copy, normalized in place, handed to
+/// [`Mat`] zero-copy — no per-row re-boxing anywhere.
+fn normalized_mat(normalizer: &Normalizer, corpus: &Dataset) -> Mat {
+    let mut flat = corpus.to_flat();
+    normalizer.apply_flat(&mut flat);
+    let (data, rows, cols) = flat.into_parts();
+    Mat::from_vec(data, rows, cols)
+}
+
+/// Runs `model.fit_mat` under the training-throughput telemetry: a
+/// `hid.train.rows_per_sec` counter (corpus rows per wall-clock second
+/// of the full fit) inside whichever `hid.train` / `hid.retrain` span
+/// is active. Observation only — the fit itself is identical with
+/// telemetry on or off.
+fn fit_timed(model: &mut dyn Detector, x: &Mat, y: &[u8]) {
+    if !telemetry::enabled() {
+        model.fit_mat(x, y);
+        return;
+    }
+    let t0 = std::time::Instant::now();
+    model.fit_mat(x, y);
+    let wall = t0.elapsed().as_secs_f64();
+    if wall > 0.0 {
+        telemetry::counter("hid.train.rows_per_sec", (x.rows() as f64 / wall) as u64);
     }
 }
 

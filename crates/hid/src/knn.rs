@@ -1,22 +1,30 @@
 //! k-nearest-neighbours classifier — an instance-based [`Detector`]
 //! family used by several counter-based anomaly detectors in the
 //! literature the paper cites.
+//!
+//! The training set is stored as one contiguous [`Mat`], and prediction
+//! selects the k smallest distances with [`slice::select_nth_unstable_by`]
+//! (O(n) expected) instead of a full sort. Ties on distance break on the
+//! original training index, so the selected neighbour set is exactly the
+//! first k rows of a stable sort by distance — deterministic, and
+//! unit-tested against that full-sort oracle below.
 
 use crate::detector::Detector;
+use crate::linalg::Mat;
 
 /// k-NN over Euclidean distance. Stores the training set verbatim.
 #[derive(Debug, Clone)]
 pub struct Knn {
     /// Number of neighbours consulted (odd avoids ties).
     pub k: usize,
-    x: Vec<Vec<f64>>,
+    x: Mat,
     y: Vec<u8>,
 }
 
 impl Knn {
     /// Creates an untrained k-NN with `k = 5`.
     pub fn new() -> Knn {
-        Knn { k: 5, x: Vec::new(), y: Vec::new() }
+        Knn { k: 5, x: Mat::zeros(0, 0), y: Vec::new() }
     }
 
     /// Creates an untrained k-NN with a custom `k`.
@@ -26,11 +34,35 @@ impl Knn {
     /// Panics when `k == 0`.
     pub fn with_k(k: usize) -> Knn {
         assert!(k > 0, "k must be nonzero");
-        Knn { k, x: Vec::new(), y: Vec::new() }
+        Knn { k, x: Mat::zeros(0, 0), y: Vec::new() }
     }
 
     fn distance2(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Majority vote over the k nearest training rows, reusing `dists`
+    /// as the selection buffer. Ties on distance break on the training
+    /// index, matching a stable sort by distance.
+    fn vote(&self, row: &[f64], dists: &mut Vec<(f64, u32)>) -> u8 {
+        assert!(self.x.rows() > 0, "knn must be fitted before predict");
+        let k = self.k.min(self.x.rows());
+        dists.clear();
+        dists.extend(
+            self.x
+                .iter_rows()
+                .enumerate()
+                .map(|(i, xi)| (Knn::distance2(row, xi), i as u32)),
+        );
+        // Partial selection of the k smallest (distance, index) pairs.
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1))
+        });
+        let attacks = dists[..k]
+            .iter()
+            .filter(|&&(_, i)| self.y[i as usize] == 1)
+            .count();
+        u8::from(attacks * 2 > k)
     }
 }
 
@@ -48,25 +80,27 @@ impl Detector for Knn {
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
         assert_eq!(x.len(), y.len(), "features/labels mismatch");
         assert!(!x.is_empty(), "cannot fit on no data");
-        self.x = x.to_vec();
+        self.x = Mat::from_rows(x);
+        self.y = y.to_vec();
+    }
+
+    fn fit_mat(&mut self, x: &Mat, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "features/labels mismatch");
+        assert!(x.rows() > 0, "cannot fit on no data");
+        self.x = x.clone();
         self.y = y.to_vec();
     }
 
     fn predict(&self, row: &[f64]) -> u8 {
-        assert!(!self.x.is_empty(), "knn must be fitted before predict");
-        let k = self.k.min(self.x.len());
-        // Partial selection of the k smallest distances.
-        let mut dists: Vec<(f64, u8)> = self
-            .x
-            .iter()
-            .zip(&self.y)
-            .map(|(xi, &yi)| (Knn::distance2(row, xi), yi))
-            .collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("finite distances")
-        });
-        let attacks = dists[..k].iter().filter(|(_, label)| *label == 1).count();
-        u8::from(attacks * 2 > k)
+        let mut dists = Vec::with_capacity(self.x.rows());
+        self.vote(row, &mut dists)
+    }
+
+    /// Batch scoring that reuses one distance buffer across all query
+    /// rows instead of allocating per prediction.
+    fn predict_batch(&self, x: &Mat) -> Vec<u8> {
+        let mut dists = Vec::with_capacity(self.x.rows());
+        x.iter_rows().map(|row| self.vote(row, &mut dists)).collect()
     }
 }
 
@@ -103,6 +137,53 @@ mod tests {
         // With both neighbours voting, attacks*2 > k requires strict
         // majority — a tie votes benign.
         assert_eq!(knn.predict(&[5.0]), 0);
+    }
+
+    /// The old implementation: full stable sort by distance, vote over
+    /// the first k. The selection path must agree with it on every
+    /// query, including exact distance ties from duplicated points.
+    fn full_sort_oracle(x: &[Vec<f64>], y: &[u8], k: usize, row: &[f64]) -> u8 {
+        let k = k.min(x.len());
+        let mut dists: Vec<(f64, u8)> = x
+            .iter()
+            .zip(y)
+            .map(|(xi, &yi)| (Knn::distance2(row, xi), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let attacks = dists[..k].iter().filter(|(_, label)| *label == 1).count();
+        u8::from(attacks * 2 > k)
+    }
+
+    #[test]
+    fn selection_matches_full_sort_oracle() {
+        let (mut x, mut y) = blobs(120, 2, 1.5, 53);
+        // Inject exact duplicates with conflicting labels so distance
+        // ties at the k boundary actually exercise the tie-break.
+        for i in 0..20 {
+            x.push(x[i].clone());
+            y.push(1 - y[i]);
+        }
+        for k in [1, 3, 5, 7] {
+            let mut knn = Knn::with_k(k);
+            knn.fit(&x, &y);
+            for row in &x {
+                assert_eq!(
+                    knn.predict(row),
+                    full_sort_oracle(&x, &y, k, row),
+                    "k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        let (x, y) = blobs(90, 3, 1.0, 59);
+        let mut knn = Knn::new();
+        knn.fit(&x, &y);
+        let batch = knn.predict_batch(&Mat::from_rows(&x));
+        let per_row: Vec<u8> = x.iter().map(|r| knn.predict(r)).collect();
+        assert_eq!(batch, per_row);
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub mod linalg;
 pub mod logreg;
 pub mod metrics;
 pub mod net;
+pub mod reference;
 pub mod svm;
 pub mod tree;
 
 pub use detector::{Detector, Hid, HidKind, HidMode, DETECTED_THRESHOLD, EVADED_THRESHOLD};
 pub use knn::Knn;
+pub use linalg::Mat;
 pub use logreg::LogisticRegression;
 pub use net::DenseNet;
 pub use svm::LinearSvm;

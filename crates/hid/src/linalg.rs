@@ -1,4 +1,22 @@
 //! Minimal dense linear algebra for the from-scratch classifiers.
+//!
+//! Two tiers live here:
+//!
+//! * the scalar seed primitives ([`dot`], [`axpy`], [`matvec`]) the
+//!   original jagged `Vec<Vec<f64>>` implementations were written
+//!   against — kept verbatim, because they define the reference
+//!   floating-point evaluation order;
+//! * the flat math core ([`Mat`], [`Scratch`], [`gemm_nt`],
+//!   [`matvec_into`]) the detector fast paths run on: one contiguous
+//!   row-major allocation per matrix, cache-blocked GEMM, and a buffer
+//!   arena so training epochs allocate nothing.
+//!
+//! **Bit-exactness contract:** every element any flat routine produces
+//! is computed by the *same* inner k-order fold as [`dot`] — blocking
+//! only reorders which (row, column) pairs are visited, never the
+//! additions inside one pair. `crates/hid/tests/fastmath_equivalence.rs`
+//! and the proptests in `crates/hid/tests/props.rs` lock this in
+//! against the seed implementations.
 
 /// Dot product of two equal-length slices.
 ///
@@ -62,6 +80,182 @@ pub fn matvec(m: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
     m.iter().map(|row| dot(row, x)).collect()
 }
 
+/// A dense row-major matrix backed by one contiguous allocation.
+///
+/// `Mat` is the carrier type of the detector fast paths: feature
+/// corpora, network weight layers and whole-batch activations all live
+/// in one `Vec<f64>` each, so iterating rows is a pointer bump instead
+/// of a pointer chase through per-row boxes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Mat {
+    /// An all-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Mat {
+        Mat { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Wraps an existing flat buffer (row-major) without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Mat {
+        assert_eq!(data.len(), rows * cols, "flat buffer does not match shape");
+        Mat { data, rows, cols }
+    }
+
+    /// Copies a jagged row set into one flat allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have inconsistent widths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Mat {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "inconsistent row width");
+            data.extend_from_slice(row);
+        }
+        Mat { data, rows: rows.len(), cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The whole backing buffer, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole backing buffer, row-major, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterates rows in order (zero-width rows included).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        (0..self.rows).map(move |i| &self.data[i * self.cols..(i + 1) * self.cols])
+    }
+
+    /// Reshapes in place to `rows × cols`, zero-filling; keeps the
+    /// allocation when capacity suffices.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+}
+
+/// Cache-block edge for [`gemm_nt`]: 32×32 output tiles keep one tile
+/// of each operand (~8 KiB at 4-wide features, still fine at 32-wide
+/// hidden layers) resident in L1 while the full-k inner loop runs.
+const GEMM_BLOCK: usize = 32;
+
+/// `out = a · bᵀ` — the whole-batch product of two row-major matrices
+/// sharing their inner (k) dimension, i/j-blocked for cache reuse.
+///
+/// Every output element is exactly `dot(a.row(i), b.row(j))`: the k
+/// loop is never split, so each element's floating-point fold matches
+/// the scalar seed path bit for bit.
+///
+/// # Panics
+///
+/// Panics when the shapes disagree.
+pub fn gemm_nt(a: &Mat, b: &Mat, out: &mut Mat) {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt inner dimensions differ");
+    assert_eq!(out.rows(), a.rows(), "gemm_nt output rows mismatch");
+    assert_eq!(out.cols(), b.rows(), "gemm_nt output cols mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    for ib in (0..m).step_by(GEMM_BLOCK) {
+        let ie = (ib + GEMM_BLOCK).min(m);
+        for jb in (0..n).step_by(GEMM_BLOCK) {
+            let je = (jb + GEMM_BLOCK).min(n);
+            for i in ib..ie {
+                let ar = a.row(i);
+                let or = &mut out.row_mut(i)[jb..je];
+                for (o, j) in or.iter_mut().zip(jb..je) {
+                    // Full-k inner fold: identical order to `dot`.
+                    *o = dot(ar, b.row(j));
+                }
+            }
+        }
+    }
+}
+
+/// `out[j] = dot(m.row(j), x)` without allocating — the flat
+/// counterpart of [`matvec`].
+///
+/// # Panics
+///
+/// Panics when the shapes disagree.
+pub fn matvec_into(m: &Mat, x: &[f64], out: &mut [f64]) {
+    assert_eq!(m.cols(), x.len(), "matvec_into width mismatch");
+    assert_eq!(m.rows(), out.len(), "matvec_into output length mismatch");
+    for (o, row) in out.iter_mut().zip(m.iter_rows()) {
+        *o = dot(row, x);
+    }
+}
+
+/// A free-list arena of reusable `f64` buffers.
+///
+/// Training loops take their activation/gradient buffers from a
+/// `Scratch` once per fit; nothing inside an epoch allocates. Returned
+/// buffers keep their capacity, so a retrain at the same shape is
+/// allocation-free end to end.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Scratch {
+    /// An empty arena.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Hands out a zeroed buffer of length `len`, reusing a pooled
+    /// allocation when one is available.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +311,98 @@ mod tests {
     fn matvec_shape() {
         let m = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![1.0, 1.0]];
         assert_eq!(matvec(&m, &[3.0, 4.0]), vec![3.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn mat_from_rows_round_trips() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = Mat::from_rows(&rows);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(m.row(i), row.as_slice());
+        }
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.iter_rows().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row width")]
+    fn mat_from_ragged_rows_panics() {
+        let _ = Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn mat_from_vec_shape_mismatch_panics() {
+        let _ = Mat::from_vec(vec![1.0, 2.0, 3.0], 2, 2);
+    }
+
+    #[test]
+    fn mat_zero_width_rows_iterate() {
+        let m = Mat::zeros(3, 0);
+        assert_eq!(m.iter_rows().count(), 3);
+        assert!(m.iter_rows().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn mat_reset_keeps_allocation() {
+        let mut m = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let cap = m.as_slice().len();
+        m.reset(1, 2);
+        assert_eq!((m.rows(), m.cols()), (1, 2));
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert!(cap >= 2);
+    }
+
+    #[test]
+    fn gemm_nt_matches_per_element_dot() {
+        // Shapes straddling the 32-wide block edge.
+        for (m, n, k) in [(1, 1, 1), (3, 5, 4), (33, 34, 7), (64, 32, 33), (2, 2, 0)] {
+            let a = Mat::from_vec(
+                (0..m * k).map(|v| (v as f64).sin()).collect(),
+                m,
+                k,
+            );
+            let b = Mat::from_vec(
+                (0..n * k).map(|v| (v as f64 * 0.7).cos()).collect(),
+                n,
+                k,
+            );
+            let mut c = Mat::zeros(m, n);
+            gemm_nt(&a, &b, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        c.row(i)[j].to_bits(),
+                        dot(a.row(i), b.row(j)).to_bits(),
+                        "({m},{n},{k}) element ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let jagged = vec![vec![1.0, 0.5], vec![0.25, 2.0], vec![1.0, 1.0]];
+        let m = Mat::from_rows(&jagged);
+        let x = [3.0, 4.0];
+        let mut out = vec![0.0; 3];
+        matvec_into(&m, &x, &mut out);
+        assert_eq!(out, matvec(&jagged, &x));
+    }
+
+    #[test]
+    fn scratch_reuses_buffers() {
+        let mut s = Scratch::new();
+        let mut a = s.take(8);
+        a[0] = 7.0;
+        let ptr = a.as_ptr();
+        s.put(a);
+        assert_eq!(s.pooled(), 1);
+        let b = s.take(4);
+        assert_eq!(b, vec![0.0; 4], "recycled buffers are zeroed");
+        assert_eq!(b.as_ptr(), ptr, "allocation is reused");
+        assert_eq!(s.pooled(), 0);
     }
 }

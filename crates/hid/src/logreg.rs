@@ -1,12 +1,20 @@
 //! Logistic regression (the paper's "LR" detector), trained with SGD and
 //! L2 regularization.
+//!
+//! Runs on the flat math core: [`LogisticRegression::fit_mat`] walks
+//! contiguous [`Mat`] rows (no per-row pointer chase, nothing allocated
+//! per epoch) and [`LogisticRegression::predict_batch`] scores a whole
+//! matrix through one [`matvec_into`]. Both keep the seed's dot-product
+//! fold, so results are bit-identical to
+//! [`crate::reference::RefLogisticRegression`].
 
+use cr_spectre_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::detector::Detector;
-use crate::linalg::{dot, sigmoid};
+use crate::linalg::{dot, matvec_into, sigmoid, Mat};
 
 /// Logistic-regression binary classifier.
 #[derive(Debug, Clone)]
@@ -40,6 +48,17 @@ impl LogisticRegression {
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
         sigmoid(dot(&self.weights, row) + self.bias)
     }
+
+    /// The trained weight vector (the equivalence suite compares it
+    /// bit for bit against the seed implementation).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The trained bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
 }
 
 impl Default for LogisticRegression {
@@ -54,28 +73,49 @@ impl Detector for LogisticRegression {
     }
 
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
-        assert_eq!(x.len(), y.len(), "features/labels mismatch");
-        assert!(!x.is_empty(), "cannot fit on no data");
-        let dim = x[0].len();
-        self.weights = vec![0.0; dim];
+        self.fit_mat(&Mat::from_rows(x), y);
+    }
+
+    fn fit_mat(&mut self, x: &Mat, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "features/labels mismatch");
+        assert!(x.rows() > 0, "cannot fit on no data");
+        self.weights = vec![0.0; x.cols()];
         self.bias = 0.0;
-        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let timing = telemetry::enabled();
         for _ in 0..self.epochs {
+            let t0 = timing.then(std::time::Instant::now);
             order.shuffle(&mut rng);
             for &i in &order {
-                let p = self.predict_proba(&x[i]);
+                let row = x.row(i);
+                let p = self.predict_proba(row);
                 let err = p - f64::from(y[i]);
-                for (w, &xi) in self.weights.iter_mut().zip(&x[i]) {
+                for (w, &xi) in self.weights.iter_mut().zip(row) {
                     *w -= self.learning_rate * (err * xi + self.l2 * *w);
                 }
                 self.bias -= self.learning_rate * err;
+            }
+            if let Some(t0) = t0 {
+                telemetry::histogram(
+                    "hid.train.epoch_us",
+                    t0.elapsed().as_secs_f64() * 1_000_000.0,
+                );
             }
         }
     }
 
     fn predict(&self, row: &[f64]) -> u8 {
         u8::from(self.predict_proba(row) >= 0.5)
+    }
+
+    /// Whole-batch scoring: one matrix–vector product over the flat
+    /// batch. `dot(row, w)` and `dot(w, row)` multiply the same pairs in
+    /// the same order, so this is bit-identical to the per-row path.
+    fn predict_batch(&self, x: &Mat) -> Vec<u8> {
+        let mut z = vec![0.0; x.rows()];
+        matvec_into(x, &self.weights, &mut z);
+        z.into_iter().map(|v| u8::from(sigmoid(v + self.bias) >= 0.5)).collect()
     }
 }
 
@@ -127,5 +167,16 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn empty_fit_panics() {
         LogisticRegression::new().fit(&[], &[]);
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        use crate::linalg::Mat;
+        let (x, y) = blobs(150, 3, 1.2, 19);
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y);
+        let batch = lr.predict_batch(&Mat::from_rows(&x));
+        let per_row: Vec<u8> = x.iter().map(|r| lr.predict(r)).collect();
+        assert_eq!(batch, per_row);
     }
 }

@@ -23,11 +23,15 @@ pub struct Confusion {
 
 impl Confusion {
     /// Builds the matrix by classifying labelled raw rows with `hid`.
+    ///
+    /// Classification runs through [`Hid::classify_batch`] — one
+    /// normalize-and-predict pass over the whole set instead of a
+    /// per-row round trip.
     pub fn measure(hid: &Hid, rows: &[Vec<f64>], labels: &[u8]) -> Confusion {
         assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
         let mut c = Confusion::default();
-        for (row, &label) in rows.iter().zip(labels) {
-            match (label, hid.classify(row)) {
+        for (&label, predicted) in labels.iter().zip(hid.classify_batch(rows)) {
+            match (label, predicted) {
                 (1, 1) => c.true_positives += 1,
                 (0, 1) => c.false_positives += 1,
                 (0, 0) => c.true_negatives += 1,

@@ -1,6 +1,17 @@
 //! Dense feed-forward networks: the paper's "MLP (Sklearn)" 3-layer
 //! classifier and the "NN (TensorFlow)" 6-layer ReLU network, both
 //! implemented from scratch with backpropagation.
+//!
+//! The implementation runs on the flat math core of [`crate::linalg`]:
+//! each layer's weights are one row-major [`Mat`] (`weights[l]` row `j`
+//! is output unit `j`'s fan-in), training reuses a [`Scratch`]-backed
+//! set of activation/gradient buffers so no epoch allocates, and
+//! [`DenseNet::predict_batch`] forwards the whole batch through
+//! [`gemm_nt`]. Every dot product keeps the seed implementation's inner
+//! k-order, so weights and predictions are bit-identical to the jagged
+//! `Vec<Vec<Vec<f64>>>` original (kept as
+//! [`crate::reference::RefDenseNet`] and locked by
+//! `tests/fastmath_equivalence.rs`).
 
 use cr_spectre_telemetry as telemetry;
 use rand::rngs::StdRng;
@@ -8,7 +19,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::detector::Detector;
-use crate::linalg::{relu, relu_grad, sigmoid};
+use crate::linalg::{dot, gemm_nt, relu, relu_grad, sigmoid, Mat, Scratch};
 
 /// A dense network with ReLU hidden layers and a single sigmoid output,
 /// trained with per-sample SGD on binary cross-entropy.
@@ -16,8 +27,9 @@ use crate::linalg::{relu, relu_grad, sigmoid};
 pub struct DenseNet {
     name: &'static str,
     hidden: Vec<usize>,
-    /// `weights[l][j][i]`: layer `l`, output unit `j`, input unit `i`.
-    weights: Vec<Vec<Vec<f64>>>,
+    /// `weights[l]` is the `sizes[l+1] × sizes[l]` matrix of layer `l`:
+    /// row `j` holds output unit `j`'s incoming weights.
+    weights: Vec<Mat>,
     biases: Vec<Vec<f64>>,
     /// Learning rate.
     pub learning_rate: f64,
@@ -25,6 +37,31 @@ pub struct DenseNet {
     pub epochs: usize,
     /// Initialization/shuffling seed.
     pub seed: u64,
+}
+
+/// Preallocated per-fit working set: activations, pre-activations and
+/// the two delta buffers, all drawn from one [`Scratch`] arena up
+/// front so the per-sample loop never allocates.
+struct NetScratch {
+    /// `acts[0]` is the input copy; `acts[l + 1]` layer `l`'s output.
+    acts: Vec<Vec<f64>>,
+    /// `zs[l]` is layer `l`'s pre-activation.
+    zs: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    prev_delta: Vec<f64>,
+}
+
+impl NetScratch {
+    fn for_sizes(sizes: &[usize]) -> NetScratch {
+        let mut arena = Scratch::new();
+        let widest = sizes.iter().copied().max().unwrap_or(0);
+        NetScratch {
+            acts: sizes.iter().map(|&n| arena.take(n)).collect(),
+            zs: sizes[1..].iter().map(|&n| arena.take(n)).collect(),
+            delta: arena.take(widest),
+            prev_delta: arena.take(widest),
+        }
+    }
 }
 
 impl DenseNet {
@@ -52,88 +89,111 @@ impl DenseNet {
         DenseNet::new("NN", vec![32, 24, 16, 12, 8])
     }
 
-    fn init(&mut self, input_dim: usize) {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+    /// Layer sizes including input and output: `[input, hidden..., 1]`.
+    fn sizes(&self, input_dim: usize) -> Vec<usize> {
         let mut sizes = vec![input_dim];
         sizes.extend_from_slice(&self.hidden);
         sizes.push(1);
+        sizes
+    }
+
+    /// The trained weight matrices, one per layer (diagnostics and the
+    /// equivalence suite).
+    pub fn layers(&self) -> &[Mat] {
+        &self.weights
+    }
+
+    /// The trained bias vectors, one per layer.
+    pub fn layer_biases(&self) -> &[Vec<f64>] {
+        &self.biases
+    }
+
+    fn init(&mut self, input_dim: usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let sizes = self.sizes(input_dim);
         self.weights.clear();
         self.biases.clear();
         for l in 0..sizes.len() - 1 {
             let fan_in = sizes[l] as f64;
             let bound = (2.0 / fan_in).sqrt();
-            let layer: Vec<Vec<f64>> = (0..sizes[l + 1])
-                .map(|_| (0..sizes[l]).map(|_| rng.random_range(-bound..bound)).collect())
-                .collect();
+            // Draw in the seed's (j-major, i-minor) order — exactly the
+            // row-major fill of the flat layer matrix.
+            let mut layer = Mat::zeros(sizes[l + 1], sizes[l]);
+            for v in layer.as_mut_slice() {
+                *v = rng.random_range(-bound..bound);
+            }
             self.weights.push(layer);
             self.biases.push(vec![0.0; sizes[l + 1]]);
         }
     }
 
-    /// Forward pass returning pre-activations and activations per layer.
-    fn forward(&self, row: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    /// Forward pass for one row into the scratch buffers.
+    fn forward_scratch(&self, row: &[f64], s: &mut NetScratch) {
         let layers = self.weights.len();
-        let mut zs = Vec::with_capacity(layers);
-        let mut acts = Vec::with_capacity(layers + 1);
-        acts.push(row.to_vec());
+        s.acts[0].copy_from_slice(row);
         for l in 0..layers {
-            let input = &acts[l];
-            let z: Vec<f64> = self.weights[l]
-                .iter()
-                .zip(&self.biases[l])
-                .map(|(w, b)| w.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
-                .collect();
-            let a: Vec<f64> = if l == layers - 1 {
-                z.iter().map(|&v| sigmoid(v)).collect()
-            } else {
-                z.iter().map(|&v| relu(v)).collect()
+            let (w, b) = (&self.weights[l], &self.biases[l]);
+            let (input, output) = {
+                let (lo, hi) = s.acts.split_at_mut(l + 1);
+                (&lo[l], &mut hi[0])
             };
-            zs.push(z);
-            acts.push(a);
+            let z = &mut s.zs[l];
+            for j in 0..w.rows() {
+                z[j] = dot(w.row(j), input) + b[j];
+            }
+            if l == layers - 1 {
+                for (a, &v) in output.iter_mut().zip(z.iter()) {
+                    *a = sigmoid(v);
+                }
+            } else {
+                for (a, &v) in output.iter_mut().zip(z.iter()) {
+                    *a = relu(v);
+                }
+            }
         }
-        (zs, acts)
+    }
+
+    /// One SGD step over the scratch buffers. Returns whether the
+    /// *pre-update* prediction already matched the target — free to
+    /// compute (the forward pass is needed anyway) and lets `fit` track
+    /// convergence without a second pass.
+    fn backprop_scratch(&mut self, row: &[f64], target: f64, s: &mut NetScratch) -> bool {
+        let layers = self.weights.len();
+        self.forward_scratch(row, s);
+        let p = s.acts[layers][0];
+        let correct = (p >= 0.5) == (target >= 0.5);
+        // Output delta for sigmoid + BCE: (p - t).
+        s.delta.clear();
+        s.delta.push(p - target);
+        for l in (0..layers).rev() {
+            // Propagate first (reading the pre-update weights), then
+            // take the gradient step — the seed's order.
+            let w = &self.weights[l];
+            s.prev_delta.clear();
+            if l > 0 {
+                for i in 0..w.cols() {
+                    let upstream: f64 =
+                        s.delta.iter().enumerate().map(|(j, d)| d * w.row(j)[i]).sum();
+                    s.prev_delta.push(upstream * relu_grad(s.zs[l - 1][i]));
+                }
+            }
+            let w = &mut self.weights[l];
+            for (j, d) in s.delta.iter().enumerate() {
+                for (wv, &a) in w.row_mut(j).iter_mut().zip(&s.acts[l]) {
+                    *wv -= self.learning_rate * d * a;
+                }
+                self.biases[l][j] -= self.learning_rate * d;
+            }
+            std::mem::swap(&mut s.delta, &mut s.prev_delta);
+        }
+        correct
     }
 
     /// Probability that `row` is an attack sample.
     pub fn predict_proba(&self, row: &[f64]) -> f64 {
-        let (_, acts) = self.forward(row);
-        acts.last().expect("output layer")[0]
-    }
-
-    /// One SGD step. Returns whether the *pre-update* prediction already
-    /// matched the target — free to compute (the forward pass is needed
-    /// anyway) and lets `fit` track convergence without a second pass.
-    fn backprop(&mut self, row: &[f64], target: f64) -> bool {
-        let layers = self.weights.len();
-        let (zs, acts) = self.forward(row);
-        let correct = (acts[layers][0] >= 0.5) == (target >= 0.5);
-        // Output delta for sigmoid + BCE: (p - t).
-        let mut delta = vec![acts[layers][0] - target];
-        for l in (0..layers).rev() {
-            // Gradient step for this layer, then propagate.
-            let prev_delta: Vec<f64> = if l > 0 {
-                (0..self.weights[l][0].len())
-                    .map(|i| {
-                        let upstream: f64 = delta
-                            .iter()
-                            .enumerate()
-                            .map(|(j, d)| d * self.weights[l][j][i])
-                            .sum();
-                        upstream * relu_grad(zs[l - 1][i])
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            for (j, d) in delta.iter().enumerate() {
-                for (w, &a) in self.weights[l][j].iter_mut().zip(&acts[l]) {
-                    *w -= self.learning_rate * d * a;
-                }
-                self.biases[l][j] -= self.learning_rate * d;
-            }
-            delta = prev_delta;
-        }
-        correct
+        let mut s = NetScratch::for_sizes(&self.sizes(row.len()));
+        self.forward_scratch(row, &mut s);
+        *s.acts.last().expect("output layer").first().expect("output unit")
     }
 }
 
@@ -143,28 +203,41 @@ impl Detector for DenseNet {
     }
 
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
-        assert_eq!(x.len(), y.len(), "features/labels mismatch");
-        assert!(!x.is_empty(), "cannot fit on no data");
-        self.init(x[0].len());
-        let mut order: Vec<usize> = (0..x.len()).collect();
+        self.fit_mat(&Mat::from_rows(x), y);
+    }
+
+    fn fit_mat(&mut self, x: &Mat, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "features/labels mismatch");
+        assert!(x.rows() > 0, "cannot fit on no data");
+        self.init(x.cols());
+        let mut scratch = NetScratch::for_sizes(&self.sizes(x.cols()));
+        let mut order: Vec<usize> = (0..x.rows()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+        let timing = telemetry::enabled();
         // First epoch at which ≥ 99.5 % of samples were already classified
         // correctly before their update — a pure observation; training
         // always runs the full epoch budget so results are unchanged.
         let mut converged_at: Option<usize> = None;
         for epoch in 0..self.epochs {
+            let t0 = timing.then(std::time::Instant::now);
             order.shuffle(&mut rng);
             let mut correct = 0usize;
             for &i in &order {
-                if self.backprop(&x[i], f64::from(y[i])) {
+                if self.backprop_scratch(x.row(i), f64::from(y[i]), &mut scratch) {
                     correct += 1;
                 }
             }
-            if converged_at.is_none() && correct as f64 >= 0.995 * x.len() as f64 {
+            if converged_at.is_none() && correct as f64 >= 0.995 * x.rows() as f64 {
                 converged_at = Some(epoch + 1);
             }
+            if let Some(t0) = t0 {
+                telemetry::histogram(
+                    "hid.train.epoch_us",
+                    t0.elapsed().as_secs_f64() * 1_000_000.0,
+                );
+            }
         }
-        if telemetry::enabled() {
+        if timing {
             telemetry::counter("hid.fits", 1);
             telemetry::histogram(
                 "hid.epochs_to_converge",
@@ -175,6 +248,33 @@ impl Detector for DenseNet {
 
     fn predict(&self, row: &[f64]) -> u8 {
         u8::from(self.predict_proba(row) >= 0.5)
+    }
+
+    /// Whole-batch forward pass: one [`gemm_nt`] per layer over two
+    /// ping-pong activation matrices. Each output element is the same
+    /// full-k dot product the per-row path computes, so the batch is
+    /// bit-identical to mapping [`DenseNet::predict`] over the rows.
+    fn predict_batch(&self, x: &Mat) -> Vec<u8> {
+        assert!(!self.weights.is_empty(), "net must be fitted before predict");
+        let layers = self.weights.len();
+        let n = x.rows();
+        let mut cur = Mat::zeros(0, 0);
+        let mut next = Mat::zeros(0, 0);
+        for l in 0..layers {
+            let (w, b) = (&self.weights[l], &self.biases[l]);
+            let input = if l == 0 { x } else { &cur };
+            next.reset(n, w.rows());
+            gemm_nt(input, w, &mut next);
+            let last = l == layers - 1;
+            for i in 0..n {
+                for (v, bj) in next.row_mut(i).iter_mut().zip(b) {
+                    let z = *v + bj;
+                    *v = if last { sigmoid(z) } else { relu(z) };
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        (0..n).map(|i| u8::from(cur.row(i)[0] >= 0.5)).collect()
     }
 }
 
@@ -205,7 +305,7 @@ mod tests {
         let mut net = DenseNet::nn6();
         let (x, y) = blobs(50, 2, 3.0, 5);
         net.fit(&x, &y);
-        assert_eq!(net.weights.len(), 6, "5 hidden + output");
+        assert_eq!(net.layers().len(), 6, "5 hidden + output");
         assert!(net.accuracy(&x, &y) > 0.9);
     }
 
@@ -233,8 +333,24 @@ mod tests {
     }
 
     #[test]
+    fn batch_prediction_matches_per_row() {
+        let (x, y) = blobs(120, 3, 2.0, 44);
+        let mut net = DenseNet::mlp();
+        net.fit(&x, &y);
+        let batch = net.predict_batch(&Mat::from_rows(&x));
+        let per_row: Vec<u8> = x.iter().map(|r| net.predict(r)).collect();
+        assert_eq!(batch, per_row);
+    }
+
+    #[test]
     #[should_panic(expected = "hidden layer")]
     fn empty_hidden_panics() {
         let _ = DenseNet::new("bad", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted before predict")]
+    fn batch_predict_before_fit_panics() {
+        let _ = DenseNet::mlp().predict_batch(&Mat::zeros(1, 2));
     }
 }

@@ -1,8 +1,13 @@
 //! CART-style decision tree — several of the HID works the paper builds
 //! on (e.g. the performance-counter malware detectors) evaluate decision
 //! trees; provided here as an additional [`Detector`] family.
+//!
+//! Training runs natively over the flat [`Mat`] layout
+//! ([`DecisionTree::fit_mat`]); the split search is identical arithmetic
+//! to the seed's jagged-row version, just over contiguous rows.
 
 use crate::detector::Detector;
+use crate::linalg::Mat;
 
 /// A binary decision tree trained by recursive Gini-impurity splitting.
 #[derive(Debug, Clone)]
@@ -44,7 +49,7 @@ impl DecisionTree {
         self.root.as_ref().map_or(0, count)
     }
 
-    fn build(&self, idx: &[usize], x: &[Vec<f64>], y: &[u8], depth: usize) -> Node {
+    fn build(&self, idx: &[usize], x: &Mat, y: &[u8], depth: usize) -> Node {
         let attacks = idx.iter().filter(|&&i| y[i] == 1).count();
         let majority = u8::from(attacks * 2 >= idx.len());
         if depth >= self.max_depth
@@ -58,7 +63,7 @@ impl DecisionTree {
             return Node::Leaf { label: majority };
         };
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+            idx.iter().partition(|&&i| x.row(i)[feature] <= threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             return Node::Leaf { label: majority };
         }
@@ -72,20 +77,21 @@ impl DecisionTree {
 }
 
 /// Finds the `(feature, threshold)` minimizing weighted Gini impurity.
-fn best_split(idx: &[usize], x: &[Vec<f64>], y: &[u8]) -> Option<(usize, f64)> {
-    let dim = x[idx[0]].len();
+fn best_split(idx: &[usize], x: &Mat, y: &[u8]) -> Option<(usize, f64)> {
+    let dim = x.cols();
     let mut best: Option<(f64, usize, f64)> = None;
-    #[allow(clippy::needless_range_loop)] // `feature` indexes jagged inner rows
+    let mut values = Vec::with_capacity(idx.len());
     for feature in 0..dim {
         // Candidate thresholds: midpoints between sorted distinct values.
-        let mut values: Vec<f64> = idx.iter().map(|&i| x[i][feature]).collect();
+        values.clear();
+        values.extend(idx.iter().map(|&i| x.row(i)[feature]));
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
         values.dedup();
         for pair in values.windows(2) {
             let threshold = (pair[0] + pair[1]) / 2.0;
             let (mut ln, mut la, mut rn, mut ra) = (0usize, 0usize, 0usize, 0usize);
             for &i in idx {
-                if x[i][feature] <= threshold {
+                if x.row(i)[feature] <= threshold {
                     ln += 1;
                     la += usize::from(y[i] == 1);
                 } else {
@@ -121,9 +127,13 @@ impl Detector for DecisionTree {
     }
 
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
-        assert_eq!(x.len(), y.len(), "features/labels mismatch");
-        assert!(!x.is_empty(), "cannot fit on no data");
-        let idx: Vec<usize> = (0..x.len()).collect();
+        self.fit_mat(&Mat::from_rows(x), y);
+    }
+
+    fn fit_mat(&mut self, x: &Mat, y: &[u8]) {
+        assert_eq!(x.rows(), y.len(), "features/labels mismatch");
+        assert!(x.rows() > 0, "cannot fit on no data");
+        let idx: Vec<usize> = (0..x.rows()).collect();
         self.root = Some(self.build(&idx, x, y, 0));
     }
 

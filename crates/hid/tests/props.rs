@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use cr_spectre_hid::detector::{Detector, Hid, HidKind, HidMode};
-use cr_spectre_hid::linalg::{dot, sigmoid};
+use cr_spectre_hid::linalg::{dot, gemm_nt, matvec_into, sigmoid, Mat};
 use cr_spectre_hid::{DenseNet, LinearSvm, LogisticRegression};
 use cr_spectre_hpc::dataset::{Dataset, Label};
 
@@ -105,4 +105,66 @@ proptest! {
             prop_assert!(hid.corpus_len() <= 60 + 100);
         }
     }
+
+    /// Blocked GEMM equals the naive per-element `dot` **bit for bit**
+    /// across random shapes, including degenerate ones (empty matrices,
+    /// single rows, widths straddling the block size). This is the
+    /// contract every fast prediction path rests on.
+    #[test]
+    fn gemm_nt_is_bitwise_naive_dot(
+        m in 0usize..70,
+        n in 0usize..70,
+        k in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = random_pair(m, n, k, seed);
+        let mut out = Mat::zeros(m, n);
+        gemm_nt(&a, &b, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let expect = dot(a.row(i), b.row(j));
+                prop_assert_eq!(
+                    out.row(i)[j].to_bits(),
+                    expect.to_bits(),
+                    "element ({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// 1×N edge case: a single-row GEMM is exactly a matvec, and
+    /// `matvec_into` is exactly a stack of naive dots.
+    #[test]
+    fn matvec_is_bitwise_naive_dot(
+        rows in 0usize..70,
+        k in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let (m, xmat) = random_pair(rows, 1, k, seed);
+        let x = xmat.row(0);
+        let mut out = vec![0.0; rows];
+        matvec_into(&m, x, &mut out);
+        let mut gemm_out = Mat::zeros(rows, 1);
+        gemm_nt(&m, &xmat, &mut gemm_out);
+        for (i, v) in out.iter().enumerate() {
+            let expect = dot(m.row(i), x);
+            prop_assert_eq!(v.to_bits(), expect.to_bits(), "row {}", i);
+            prop_assert_eq!(gemm_out.row(i)[0].to_bits(), expect.to_bits(), "row {}", i);
+        }
+    }
+}
+
+/// Deterministic pseudo-random `m×k` / `n×k` pair sharing the inner
+/// dimension, from a simple xorshift stream (proptest drives the seed).
+fn random_pair(m: usize, n: usize, k: usize, seed: u64) -> (Mat, Mat) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 100.0 - 10.0
+    };
+    let a = Mat::from_vec((0..m * k).map(|_| next()).collect(), m, k);
+    let b = Mat::from_vec((0..n * k).map(|_| next()).collect(), n, k);
+    (a, b)
 }

@@ -193,6 +193,23 @@ impl Normalizer {
         }
     }
 
+    /// Normalizes a flat row-major matrix in place — the same per-row
+    /// arithmetic as [`Normalizer::apply`], over contiguous storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix width differs from the fitted dimension.
+    pub fn apply_flat(&self, m: &mut crate::dataset::FlatMatrix) {
+        assert_eq!(m.cols(), self.dim(), "flat matrix width mismatch");
+        let dim = self.dim();
+        if dim == 0 {
+            return;
+        }
+        for row in m.as_mut_slice().chunks_exact_mut(dim) {
+            self.apply(row);
+        }
+    }
+
     /// The feature dimension.
     pub fn dim(&self) -> usize {
         self.mean.len()
@@ -274,6 +291,31 @@ mod tests {
             assert!((var - 1.0).abs() < 1e-9);
         }
         assert_eq!(norm.dim(), 2);
+    }
+
+    #[test]
+    fn apply_flat_matches_apply_all() {
+        use crate::dataset::FlatMatrix;
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let norm = Normalizer::fit(&rows);
+        let mut jagged = rows.clone();
+        norm.apply_all(&mut jagged);
+        let mut flat = FlatMatrix::from_rows(&rows);
+        norm.apply_flat(&mut flat);
+        for (i, row) in jagged.iter().enumerate() {
+            for (a, b) in row.iter().zip(flat.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn apply_flat_rejects_wrong_width() {
+        use crate::dataset::FlatMatrix;
+        let norm = Normalizer::fit(&[vec![1.0, 2.0]]);
+        let mut flat = FlatMatrix::from_rows(&[vec![1.0]]);
+        norm.apply_flat(&mut flat);
     }
 
     #[test]

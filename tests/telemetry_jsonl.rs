@@ -122,10 +122,22 @@ fn cli_fig5_smoke_campaign_emits_valid_jsonl() {
     assert!(attempt_spans >= 3, "got {attempt_spans} attempt spans");
     assert!(profile_spans >= attempt_spans, "got {profile_spans} hpc.profile spans");
     // Aggregates from each instrumented layer.
-    for counter in ["sim.runs", "sim.instructions", "hpc.trials", "par_map.jobs", "hid.fits"] {
+    for counter in [
+        "sim.runs",
+        "sim.instructions",
+        "hpc.trials",
+        "par_map.jobs",
+        "hid.fits",
+        "hid.train.rows_per_sec",
+    ] {
         assert!(counter_names.contains(counter), "no {counter:?} counter in {counter_names:?}");
     }
-    for histogram in ["hpc.trial_wall_ms", "hpc.squashes_per_trial", "hid.epochs_to_converge"] {
+    for histogram in [
+        "hpc.trial_wall_ms",
+        "hpc.squashes_per_trial",
+        "hid.epochs_to_converge",
+        "hid.train.epoch_us",
+    ] {
         assert!(
             histogram_names.contains(histogram),
             "no {histogram:?} histogram in {histogram_names:?}"
